@@ -1,0 +1,101 @@
+"""E4.1-E4.2: courseware production and the four authoring layers.
+
+Fig 4.1 — the general production process: analysis (architecture
+choice) -> media production -> authoring -> storage; Fig 4.2 — the
+teaching-architecture / document / object / media layer mapping.
+"""
+
+import pytest
+
+from conftest import build_catalog, deploy_mits
+
+from repro.authoring import (
+    CoursewareEditor, Scene, SceneObject, Section, TimelineEntry,
+    architecture_by_name, list_architectures,
+)
+from repro.mheg.classes import CompositeClass, ContentClass, LinkClass
+
+
+def fill_case_based_skeleton(doc, refs):
+    """Fill the skeleton's empty scenes with minimal content."""
+    for section, ref in zip(doc.sections, refs):
+        scene = section.scenes[0]
+        scene.objects.append(SceneObject(
+            name=f"{section.name}-media", kind="text", content_ref=ref))
+        scene.timeline.add(TimelineEntry(f"{section.name}-media", 0.0, 1.0))
+    return doc
+
+
+def test_production_pipeline(benchmark):
+    """E4.1: the full process, timed end-to-end: produce media at the
+    production site, author at the author site, store at the database
+    site — over the network."""
+
+    def pipeline():
+        mits = deploy_mits()
+        center = mits.production.center
+        media = center.produce_text("fresh-notes")
+        mits.publish_media(media)
+        author = mits.authors["author1"]
+        author.editor.catalog["fresh-notes"] = media
+        arch = architecture_by_name("case-based")
+        doc = arch.build_skeleton("fresh-course")
+        fill_case_based_skeleton(doc, ["fresh-notes"] * 4)
+        compiled = author.editor.compile_imd(doc)
+        mits.wait(author.publish_courseware(
+            compiled, courseware_id="fresh-course", title="Fresh",
+            program="bench"))
+        return mits
+
+    mits = benchmark.pedantic(pipeline, rounds=3, iterations=1)
+    record = mits.database.db.get_courseware("fresh-course")
+    assert record.title == "Fresh"
+    assert len(record.container_blob) > 0
+
+
+def test_layer_mapping(benchmark, catalog):
+    """E4.2: each authoring layer maps onto the next — architecture ->
+    document model -> MHEG objects -> media references."""
+    architectures = list_architectures()
+
+    def map_layers():
+        out = {}
+        for arch in architectures:
+            doc = arch.build_skeleton(f"course-{arch.name}")
+            if arch.document_model == "interactive":
+                fill_case_based_skeleton(doc, ["notes"] * len(doc.sections))
+                compiled = CoursewareEditor(
+                    f"c-{arch.name}", catalog=catalog).compile_imd(doc)
+            else:
+                # hypermedia skeletons need pages filled + linked
+                from repro.authoring import NavigationLink, PageItem
+                for page in doc.pages:
+                    page.items.append(PageItem(
+                        name="body", kind="text", content_ref="notes"))
+                    page.items.append(PageItem(
+                        name="next", kind="choice", label="Next"))
+                names = [p.name for p in doc.pages]
+                for a, b in zip(names, names[1:] + names[:1]):
+                    doc.add_link(NavigationLink(a, "next", b))
+                compiled = CoursewareEditor(
+                    f"c-{arch.name}", catalog=catalog).compile_hyperdoc(doc)
+            out[arch.name] = compiled
+        return out
+
+    compiled_by_arch = benchmark(map_layers)
+    assert len(compiled_by_arch) == 6
+    for arch_name, compiled in compiled_by_arch.items():
+        kinds = {type(o) for o in compiled.container.objects}
+        # object layer: composites present; media layer: every content
+        # object references the catalog
+        assert any(issubclass(k, CompositeClass) for k in kinds)
+        for obj in compiled.container.objects:
+            if isinstance(obj, ContentClass) and obj.content_ref:
+                assert obj.content_ref == "notes"
+    # hypermedia architectures compile navigation links
+    exploration = compiled_by_arch["exploration"]
+    assert any(isinstance(o, LinkClass)
+               for o in exploration.container.objects)
+    benchmark.extra_info["objects_per_architecture"] = {
+        name: len(c.container.objects)
+        for name, c in compiled_by_arch.items()}

@@ -1,0 +1,138 @@
+"""EX.1: HyTime vs MHEG (§2.3) — the paper's baseline comparison.
+
+Three measurements reproduce the section's three claims:
+
+* §2.3.1 authoring/publishing: HyTime documents stay editable text;
+  editing an MHEG final form requires decode -> modify -> re-encode.
+* §2.3.2 real-time interchange: for the *same information*, the MHEG
+  binary final form is smaller and faster to make presentable than the
+  SGML text form, and a HyTime document additionally needs address
+  resolution and a mapping step before anything can be presented.
+* §2.3.3 interaction: MHEG expresses conditional behaviour natively
+  (links with trigger + additional conditions, actions); HyTime has
+  only the hyperlink.
+"""
+
+import pytest
+
+from conftest import build_catalog, build_hyperdoc
+
+from repro.authoring.editor import CoursewareEditor
+from repro.hytime import HyTimeEngine
+from repro.mheg import MhegCodec
+from repro.mheg.classes import LinkClass
+
+
+@pytest.fixture(scope="module")
+def notations(catalog):
+    editor = CoursewareEditor("cmp", catalog=catalog)
+    doc = build_hyperdoc()
+    compiled = editor.compile_hyperdoc(doc)
+    return {
+        "editor": editor,
+        "doc": doc,
+        "compiled": compiled,
+        "ber": compiled.encode(),
+        "sgml": MhegCodec().to_sgml(compiled.container),
+        "hytime": editor.to_hytime(doc),
+    }
+
+
+def test_real_time_interchange_mheg_wins(benchmark, notations):
+    """§2.3.2: time-to-presentable, MHEG final form vs SGML text of
+    the SAME object graph."""
+    codec = MhegCodec()
+    ber, sgml = notations["ber"], notations["sgml"]
+
+    def decode_ber():
+        return codec.decode(ber)
+
+    obj = benchmark(decode_ber)
+    import time
+    t0 = time.perf_counter()
+    for _ in range(50):
+        codec.from_sgml(sgml)
+    sgml_ms = (time.perf_counter() - t0) / 50 * 1e3
+    t0 = time.perf_counter()
+    for _ in range(50):
+        codec.decode(ber)
+    ber_ms = (time.perf_counter() - t0) / 50 * 1e3
+    benchmark.extra_info["ber_bytes"] = len(ber)
+    benchmark.extra_info["sgml_bytes"] = len(sgml)
+    benchmark.extra_info["ber_ms"] = round(ber_ms, 3)
+    benchmark.extra_info["sgml_ms"] = round(sgml_ms, 3)
+    # the thesis's claim, reproduced: final-form binary interchange is
+    # both smaller and faster to present than the publishing text form
+    assert len(ber) < len(sgml) / 3
+    assert ber_ms < sgml_ms
+    assert obj == notations["compiled"].container
+
+
+def test_hytime_needs_resolution_before_presentation(benchmark, notations):
+    """§2.3.2 continued: a HyTime document must be parsed, its modules
+    validated, its addresses resolved, and the result *mapped* into
+    presentable structures — strictly more steps than MHEG decode."""
+    engine = HyTimeEngine()
+    text = notations["hytime"]
+
+    def full_processing():
+        doc = engine.process(text)             # parse + resolve
+        # the mapping step a presentation site would still need: walk
+        # pages, build a presentable structure per media element
+        presentable = []
+        for page in doc.root.find_all("page"):
+            for el in page.children:
+                presentable.append((page.attributes["id"], el.name,
+                                    el.attributes.get("src")))
+        return doc, presentable
+
+    doc, presentable = benchmark(full_processing)
+    assert len(doc.hyperlinks) == 4
+    assert len(presentable) >= 8
+    benchmark.extra_info["hytime_bytes"] = len(text)
+
+
+def test_authoring_favours_hytime(benchmark, notations):
+    """§2.3.1: edit-in-place.  Changing one label in the HyTime text is
+    a string operation; for the MHEG form it is decode -> mutate ->
+    re-encode of the whole container."""
+    codec = MhegCodec()
+    ber = notations["ber"]
+    text = notations["hytime"]
+
+    def edit_mheg():
+        container = codec.decode(ber)
+        for obj in container.objects:
+            if getattr(obj, "data", None) == b"Details":
+                obj.data = b"More details"
+        return codec.encode(container)
+
+    new_blob = benchmark(edit_mheg)
+    assert new_blob != ber
+    import time
+    t0 = time.perf_counter()
+    for _ in range(100):
+        edited = text.replace(">Details<", ">More details<")
+    hytime_ms = (time.perf_counter() - t0) / 100 * 1e3
+    benchmark.extra_info["hytime_edit_ms"] = round(hytime_ms, 4)
+    assert "More details" in edited
+
+
+def test_interactivity_mheg_only(benchmark, notations):
+    """§2.3.3: the MHEG form carries conditional interaction objects;
+    the HyTime form of the same course has only hyperlinks."""
+    container = notations["compiled"].container
+
+    def census():
+        return [o for o in container.objects if isinstance(o, LinkClass)]
+
+    mheg_links = benchmark(census)
+    assert mheg_links
+    for link in mheg_links:
+        assert link.trigger_conditions          # rich trigger machinery
+        assert link.effect.actions              # resolved action sets
+    hytime_doc = HyTimeEngine().process(notations["hytime"])
+    # HyTime: traversable clinks, but no conditions or action sets
+    assert hytime_doc.hyperlinks
+    for hyperlink in hytime_doc.hyperlinks:
+        assert not hasattr(hyperlink, "trigger_conditions")

@@ -1,0 +1,88 @@
+"""E2.1-E2.3: HyTime modules, addressing, and document processing.
+
+Fig 2.1 (module inter-dependencies), Fig 2.2 (the three location
+address forms), Fig 2.3 (the engine/parser processing model).
+"""
+
+import pytest
+
+from repro.hytime import (
+    CoordinateAddress, HyTimeEngine, HyTimeModule, NameSpaceAddress,
+    SemanticAddress, resolve_address, validate_modules,
+)
+from repro.hytime.location import build_name_space
+from repro.hytime.modules import MODULE_DEPENDENCIES, dependency_closure
+from repro.hytime.sgml import SgmlParser
+
+
+def make_document(sections: int = 40) -> str:
+    parts = ['<doc modules="base location hyperlinks measurement '
+             'scheduling" id="root">']
+    for i in range(sections):
+        parts.append(f'<section id="s{i}"><p id="p{i}">paragraph {i} '
+                     f"mentioning topic-{i % 7}</p></section>")
+        if i:
+            parts.append(f'<clink anchor="p{i}" target="s{i - 1}"/>')
+    parts.append('<fcs id="show"><axis name="time" unit="second" '
+                 'extent="600"/>')
+    for i in range(sections):
+        parts.append(f'<event name="e{i}" axis="time" start="{i * 10}" '
+                     'length="9"/>')
+    parts.append("</fcs></doc>")
+    return "\n".join(parts)
+
+
+def test_module_dependency_closure(benchmark):
+    """E2.1: the Fig 2.1 dependency graph, validated and closed."""
+
+    def run():
+        for mod in HyTimeModule:
+            closure = dependency_closure([mod])
+            validate_modules(closure)
+        return closure
+
+    closure = benchmark(run)
+    benchmark.extra_info["modules"] = len(MODULE_DEPENDENCIES)
+    # rendition is the deepest module (Fig 2.1's bottom row)
+    assert dependency_closure([HyTimeModule.RENDITION]) == {
+        HyTimeModule.BASE, HyTimeModule.MEASUREMENT,
+        HyTimeModule.SCHEDULING, HyTimeModule.RENDITION}
+
+
+def test_location_resolution(benchmark):
+    """E2.2: resolve all three address forms over one document."""
+    root = SgmlParser().parse(make_document())
+    name_space = build_name_space(root)
+
+    def semantic(query, r):
+        for p in r.find_all("p"):
+            if query in p.full_text():
+                return p
+        return None
+
+    def run():
+        a = resolve_address(NameSpaceAddress("p7"), root,
+                            name_space=name_space)
+        b = resolve_address(CoordinateAddress([3, 0]), root)
+        c = resolve_address(SemanticAddress("topic-3"), root,
+                            semantic_resolver=semantic)
+        return a, b, c
+
+    a, b, c = benchmark(run)
+    assert a.attributes["id"] == "p7"
+    # children interleave sections and clinks: index 3 is section s2
+    assert b.attributes["id"] == "p2"
+    assert "topic-3" in c.full_text()
+
+
+def test_document_processing(benchmark):
+    """E2.3: the full processing model — parse, validate modules,
+    name space, resolve every hyperlink, build FCS schedules."""
+    text = make_document()
+    engine = HyTimeEngine()
+
+    doc = benchmark(engine.process, text)
+    benchmark.extra_info["document_bytes"] = len(text)
+    benchmark.extra_info["hyperlinks"] = len(doc.hyperlinks)
+    assert len(doc.hyperlinks) == 39
+    assert doc.events_at("show", "time", 15.0) == ["e1"]

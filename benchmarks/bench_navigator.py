@@ -1,0 +1,140 @@
+"""E5.3-E5.7: the navigator screens as executable flows.
+
+Fig 5.3 entry screen, Fig 5.4 registration dialogs, Fig 5.5 course
+presentation, Fig 5.6 profile update, Fig 5.7 library browsing — each
+screen's inputs and effects, driven over the network.
+"""
+
+import pytest
+
+from conftest import deploy_mits
+
+from repro.navigator.navigator import NavigatorState
+
+
+def registered_nav(mits, name="Student", host=None):
+    host = host or f"u{len(mits.users)}"
+    nav = mits.add_user(host).navigator
+    nav.start()
+    nav.register(name)
+    mits.sim.run(until=mits.sim.now + 5)
+    return nav
+
+
+def test_entry_flow(benchmark):
+    """E5.3: the first screen — welcome video, login or register."""
+
+    def flow():
+        mits = deploy_mits()
+        nav = mits.add_user("entry-user").navigator
+        screen = nav.start()
+        return mits, nav, screen
+
+    mits, nav, screen = benchmark.pedantic(flow, rounds=3, iterations=1)
+    assert screen["video"] == "welcome"
+    assert set(screen["actions"]) >= {"login", "register"}
+    assert nav.state is NavigatorState.ENTRY
+
+
+def test_registration_flow(benchmark):
+    """E5.4: the dialog chain — profile, programs, course list with
+    introduction video, selection."""
+
+    def flow():
+        mits = deploy_mits()
+        nav = registered_nav(mits, "Reg Tester")
+        programs = mits.wait(nav.list_programs())
+        courses = mits.wait(nav.list_courses(programs[0]))
+        summaries = mits.wait(nav.client.list_courseware(programs[0]))
+        rx = nav.course_introduction(summaries[0]["introduction_ref"])
+        mits.sim.run(until=mits.sim.now + 60)
+        mits.wait(nav.register_for_course(courses[0]["course_code"]))
+        return nav, rx
+
+    nav, rx = benchmark.pedantic(flow, rounds=3, iterations=1)
+    assert nav.student["student_number"].startswith("S")
+    assert rx.finished and len(rx.data) > 1000
+    assert nav.student is not None
+
+
+def test_course_presentation(benchmark):
+    """E5.5: the classroom screen — load, watch, interact, leave."""
+
+    def flow():
+        mits = deploy_mits()
+        nav = registered_nav(mits, "Class Tester")
+        mits.wait(nav.register_for_course("B101"))
+        states = {}
+
+        def on_ready(session):
+            states["visible"] = session.presenter.visible()
+            states["clickable"] = session.presenter.clickable()
+            session.click("stop-btn")
+            states["after_stop"] = session.presenter.visible()
+
+        nav.enter_classroom("B101", "bench-imd", on_ready=on_ready)
+        mits.sim.run(until=mits.sim.now + 60)
+        position = nav.leave_classroom()
+        mits.sim.run(until=mits.sim.now + 5)
+        saved = mits.wait(nav.client.get_resume(
+            nav.student["student_number"], "bench-imd"))
+        return states, position, saved
+
+    states, position, saved = benchmark.pedantic(flow, rounds=3,
+                                                 iterations=1)
+    assert "text1" in states["visible"]
+    assert "stop-btn" in states["clickable"]
+    assert "text1" not in states["after_stop"]
+    assert saved == pytest.approx(position)
+
+
+def test_profile_update(benchmark):
+    """E5.6: update the student profile; the change persists."""
+
+    def flow():
+        mits = deploy_mits()
+        nav = registered_nav(mits, "Profile Tester")
+        nav.update_profile(address="42 Broadband Ave",
+                           email="p@mirl.example")
+        mits.sim.run(until=mits.sim.now + 5)
+        fresh = mits.wait(nav.client.get_student(
+            nav.student["student_number"]))
+        return nav, fresh
+
+    nav, fresh = benchmark.pedantic(flow, rounds=3, iterations=1)
+    assert fresh["address"] == "42 Broadband Ave"
+    assert nav.state is NavigatorState.ADMIN
+
+
+def test_library_browsing(benchmark):
+    """E5.7: list the library, read a document, follow its links."""
+
+    def flow():
+        mits = deploy_mits()
+        # publish two cross-linked library documents
+        center = mits.production.center
+        linked = center.produce_text("linked-doc",
+                                     link_targets=["other-doc"])
+        other = center.produce_text("other-doc")
+        mits.publish_media(linked)
+        mits.publish_media(other)
+        author = mits.authors["author1"]
+        mits.wait(author.publish_library_doc(
+            doc_id="linked-doc", title="Linked", media_kind="text",
+            content_ref="linked-doc", keywords=["bench/library"]))
+        mits.wait(author.publish_library_doc(
+            doc_id="other-doc", title="Other", media_kind="text",
+            content_ref="other-doc", keywords=["bench/library"]))
+
+        nav = registered_nav(mits, "Lib Tester")
+        docs = mits.wait(nav.browse_library())
+        read = []
+        nav.read_document("linked-doc", on_done=read.append)
+        mits.sim.run(until=mits.sim.now + 60)
+        return docs, read
+
+    docs, read = benchmark.pedantic(flow, rounds=3, iterations=1)
+    assert {d["doc_id"] for d in docs} == {"linked-doc", "other-doc"}
+    assert read and read[0]["bytes"] > 0
+    targets = {t for t, _ in read[0]["links"]}
+    assert targets <= {"other-doc"}

@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""The §5.4 sample learning session, over an OCRInet-like metro WAN.
+
+A remote student walks every screen of the prototype (Figs 5.3-5.7):
+entry, registration with a course-introduction video, the classroom
+with interaction and bookmarks, profile update, library browsing with
+cross-reference links, the bulletin board, an exercise, and a question
+to the on-line facilitator — all over simulated ATM with real
+cell-level transport.
+
+Run:  python examples/teleschool_session.py
+"""
+
+from repro.authoring import (
+    InteractiveDocument, Scene, SceneObject, Section, TimelineEntry,
+)
+from repro.core import MitsSystem
+from repro.school.exercise import Exercise, MultipleChoiceQuestion, NumericQuestion
+
+
+def deploy() -> MitsSystem:
+    mits = MitsSystem(topology="ocrinet")
+    center = mits.production.center
+    assets = {
+        "atm-intro-video": center.produce_video("atm-intro-video",
+                                                seconds=2.0),
+        "atm-notes": center.produce_text(
+            "atm-notes", link_targets=["lib-cells", "lib-qos"]),
+        "cells-doc": center.produce_text("cells-doc"),
+        "qos-doc": center.produce_text("qos-doc"),
+    }
+    for media in assets.values():
+        mits.publish_media(media)
+
+    author = mits.add_author("author1", "atm-101", catalog=assets)
+    scene = Scene(name="lecture", objects=[
+        SceneObject(name="clip", kind="video",
+                    content_ref="atm-intro-video"),
+        SceneObject(name="notes", kind="text", content_ref="atm-notes",
+                    position=(0, 300)),
+        SceneObject(name="skip", kind="choice", label="Skip")])
+    scene.timeline.add(TimelineEntry("clip", 0.0))
+    scene.timeline.add(TimelineEntry("notes", 0.0, 2.0))
+    scene.behavior.when_selected("skip", ("stop", "clip"))
+    doc = InteractiveDocument("atm-101", title="ATM Networks")
+    doc.add_section(Section(name="s1", scenes=[scene]))
+    mits.wait(author.publish_courseware(
+        author.editor.compile_imd(doc), courseware_id="atm-101",
+        title="ATM Networks", program="networking",
+        keywords=["networks/atm"], introduction_ref="atm-intro-video"))
+    mits.wait(author.publish_course(
+        course_code="ELG5376", name="ATM Networks", program="networking",
+        courseware_id="atm-101"))
+    for doc_id, ref in (("lib-cells", "cells-doc"), ("lib-qos", "qos-doc")):
+        mits.wait(author.publish_library_doc(
+            doc_id=doc_id, title=doc_id, media_kind="text",
+            content_ref=ref, keywords=["networks/atm"]))
+
+    service = mits.facilitator.service
+    service.facilitator.teach(["atm", "cell"],
+                              "An ATM cell is 53 octets: 5 header + 48 payload.")
+    service.bulletin.post("school.announcements", "admin",
+                          "Welcome to MIRL TeleSchool",
+                          "New this term: ATM Networks (ELG5376).")
+    service.exercises.add(Exercise(
+        exercise_id="atm-quiz-1", course_code="ELG5376",
+        title="Cells and rates", questions=[
+            MultipleChoiceQuestion("ATM cell size?", ["48", "53", "64"], 1),
+            NumericQuestion("Payload octets per cell?", 48),
+        ]))
+    return mits
+
+
+def main() -> None:
+    mits = deploy()
+    nav = mits.add_user("student-home").navigator
+
+    print("== Fig 5.3: entry screen ==")
+    print(nav.start())
+
+    print("\n== Fig 5.4: registration ==")
+    nav.register("Ruiping W.", "Ottawa", "rw@mirl.example")
+    mits.sim.run(until=mits.sim.now + 10)
+    print("student number:", nav.student["student_number"])
+    summaries = mits.wait(nav.client.list_courseware("networking"))
+    rx = nav.course_introduction(summaries[0]["introduction_ref"])
+    mits.sim.run(until=mits.sim.now + 30)
+    print(f"introduction video streamed: {len(rx.data)} bytes "
+          f"in {rx.finished_at - rx.first_chunk_at:.2f}s")
+    mits.wait(nav.register_for_course("ELG5376"))
+
+    print("\n== Fig 5.5: classroom ==")
+
+    def on_ready(session):
+        print("  loaded:", session.presenter.load_stats)
+        print("  on screen:", session.presenter.visible())
+        session.click("skip")
+        session.add_bookmark("notes")
+        print("  after skip:", session.presenter.visible())
+
+    nav.enter_classroom("ELG5376", "atm-101", on_ready=on_ready)
+    mits.sim.run(until=mits.sim.now + 60)
+    position = nav.leave_classroom()
+    mits.sim.run(until=mits.sim.now + 5)
+    print(f"  resume position saved: {position:.2f}s")
+
+    print("\n== Fig 5.6: profile update ==")
+    nav.update_profile(address="125 Colonel By Dr")
+    mits.sim.run(until=mits.sim.now + 5)
+    print("  new address:", nav.student["address"])
+
+    print("\n== Fig 5.7: library ==")
+    docs = mits.wait(nav.browse_library())
+    print("  documents:", [d["doc_id"] for d in docs])
+    read = []
+    nav.read_document("lib-cells", on_done=read.append)
+    mits.sim.run(until=mits.sim.now + 30)
+    print(f"  read lib-cells: {read[0]['bytes']} bytes, "
+          f"links: {read[0].get('links', [])[:2]}")
+
+    print("\n== bulletin, exercise, facilitator ==")
+    posts = mits.wait(nav.read_bulletin("school.announcements"))
+    print("  bulletin:", posts[0]["subject"])
+    result = mits.wait(nav.take_exercise("atm-quiz-1", [1, 48]))
+    print(f"  exercise score: {result['score']}/{result['max_score']}")
+    answer = mits.wait(nav.ask_facilitator("how big is an ATM cell?"))
+    print("  facilitator:", answer["answer"])
+
+    nav.exit()
+    print("\nsession trace:", nav.trace)
+    print("db requests served:", mits.database.requests_served())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so ``pip install -e .`` works in offline
+environments whose pip/setuptools predate PEP 660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

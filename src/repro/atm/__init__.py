@@ -1,0 +1,60 @@
+"""Discrete-event ATM network substrate.
+
+The 1996 MITS prototype ran over OCRInet, a physical ATM research
+network in the Ottawa region.  This subpackage replaces that hardware
+with a cell-level discrete-event simulator:
+
+* :mod:`repro.atm.simulator` — the event-queue kernel every other
+  component schedules on;
+* :mod:`repro.atm.cell` — 53-byte ATM cells with a real UNI header
+  layout and HEC;
+* :mod:`repro.atm.aal5` — AAL5 segmentation and reassembly (CPCS-PDU
+  framing, CRC-32, pad, last-cell indication via PTI);
+* :mod:`repro.atm.qos` — traffic contracts, GCRA policing and the four
+  service categories (CBR, rt-VBR, nrt-VBR, UBR);
+* :mod:`repro.atm.link` / :mod:`repro.atm.switch` — transmission lines
+  with serialization + propagation delay and output-buffered switches
+  with per-category priority queueing;
+* :mod:`repro.atm.network` — hosts, VC setup/routing and the
+  end-to-end cell relay;
+* :mod:`repro.atm.topology` — canned topologies, including an
+  OCRInet-like metro WAN.
+"""
+
+from repro.atm.simulator import Simulator, Event, Process
+from repro.atm.cell import Cell, CellHeader, CELL_SIZE, PAYLOAD_SIZE, HEADER_SIZE
+from repro.atm.aal5 import Aal5Sender, Aal5Receiver, segment_pdu, CpcsTrailer
+from repro.atm.qos import (
+    ServiceCategory,
+    TrafficContract,
+    Gcra,
+    LeakyBucketShaper,
+)
+from repro.atm.link import Link
+from repro.atm.switch import Switch, VcTableEntry
+from repro.atm.network import AtmNetwork, Host, VirtualCircuit
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Process",
+    "Cell",
+    "CellHeader",
+    "CELL_SIZE",
+    "PAYLOAD_SIZE",
+    "HEADER_SIZE",
+    "Aal5Sender",
+    "Aal5Receiver",
+    "segment_pdu",
+    "CpcsTrailer",
+    "ServiceCategory",
+    "TrafficContract",
+    "Gcra",
+    "LeakyBucketShaper",
+    "Link",
+    "Switch",
+    "VcTableEntry",
+    "AtmNetwork",
+    "Host",
+    "VirtualCircuit",
+]

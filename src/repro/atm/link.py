@@ -1,0 +1,154 @@
+"""Transmission links.
+
+A :class:`Link` is a unidirectional transmission line with a fixed
+bit rate, a propagation delay, and a finite output buffer organised as
+per-service-category priority queues (CBR drains before rt-VBR, etc.;
+within a category, CLP=1 cells are dropped first under overflow).
+
+Serialization time per cell is ``424 bits / rate``; cells arrive at
+the attached sink one propagation delay after transmission completes.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional, Tuple
+
+from repro.atm.cell import Cell, CELL_SIZE
+from repro.atm.qos import ServiceCategory
+from repro.atm.simulator import Simulator
+
+CELL_BITS = CELL_SIZE * 8
+
+
+@dataclass
+class LinkStats:
+    enqueued: int = 0
+    transmitted: int = 0
+    dropped_overflow: int = 0
+    dropped_errors: int = 0
+    busy_time: float = 0.0
+
+
+class Link:
+    """Unidirectional cell pipe with priority queueing.
+
+    The *sink* is any callable taking one :class:`Cell`; it is invoked
+    when the cell fully arrives at the far end.
+    """
+
+    def __init__(self, sim: Simulator, rate_bps: float, prop_delay: float = 1e-5,
+                 buffer_cells: int = 512, name: str = "", *,
+                 error_rate: float = 0.0,
+                 error_seed: int = 0) -> None:
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        if buffer_cells < 1:
+            raise ValueError("link buffer must hold at least one cell")
+        if not 0.0 <= error_rate < 1.0:
+            raise ValueError("error_rate must be in [0, 1)")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.prop_delay = prop_delay
+        self.buffer_cells = buffer_cells
+        self.name = name
+        #: fault injection: probability a transmitted cell is lost on
+        #: the wire (seeded, so experiments are reproducible)
+        self.error_rate = error_rate
+        self._error_rng = random.Random(error_seed) if error_rate > 0 \
+            else None
+        self.sink: Optional[Callable[[Cell], None]] = None
+        self._queues: List[Deque[Tuple[Cell, ServiceCategory]]] = [
+            deque() for _ in ServiceCategory
+        ]
+        self._queued = 0
+        self._busy = False
+        self.stats = LinkStats()
+        #: bandwidth reserved by connection admission (bits/s)
+        self.reserved_bps = 0.0
+
+    def inject_errors(self, rate: float, seed: int = 0) -> None:
+        """Enable (or change) seeded random cell loss on this link."""
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("error rate must be in [0, 1)")
+        self.error_rate = rate
+        self._error_rng = random.Random(seed) if rate > 0 else None
+
+    @property
+    def cell_time(self) -> float:
+        """Serialization time of one cell on this link."""
+        return CELL_BITS / self.rate_bps
+
+    @property
+    def queue_length(self) -> int:
+        return self._queued
+
+    def enqueue(self, cell: Cell, category: ServiceCategory = ServiceCategory.UBR) -> bool:
+        """Offer a cell for transmission.  Returns False when dropped.
+
+        On overflow the link first tries to shed a buffered CLP=1 cell
+        of the lowest-priority non-empty class; if none exists and the
+        arriving cell itself is the lowest class, the arrival is lost.
+        """
+        if self._queued >= self.buffer_cells:
+            if not self._shed_low_priority(category):
+                self.stats.dropped_overflow += 1
+                return False
+        self._queues[category].append((cell, category))
+        self._queued += 1
+        self.stats.enqueued += 1
+        if not self._busy:
+            self._start_transmission()
+        return True
+
+    def _shed_low_priority(self, arriving: ServiceCategory) -> bool:
+        """Try to make room for an *arriving*-class cell by dropping a
+        lower-priority buffered cell (CLP=1 preferred).  Returns True
+        if room was made."""
+        for cat in sorted(ServiceCategory, reverse=True):
+            if cat <= arriving:
+                break
+            q = self._queues[cat]
+            if q:
+                # prefer a tagged cell if one is buffered
+                for i, (c, _) in enumerate(q):
+                    if c.header.clp == 1:
+                        del q[i]
+                        break
+                else:
+                    q.pop()
+                self._queued -= 1
+                self.stats.dropped_overflow += 1
+                return True
+        return False
+
+    def _start_transmission(self) -> None:
+        for q in self._queues:
+            if q:
+                cell, _cat = q.popleft()
+                self._queued -= 1
+                break
+        else:
+            self._busy = False
+            return
+        self._busy = True
+        tx = self.cell_time
+        self.stats.busy_time += tx
+        self.sim.schedule(tx, self._finish_transmission, cell)
+
+    def _finish_transmission(self, cell: Cell) -> None:
+        self.stats.transmitted += 1
+        if self._error_rng is not None and \
+                self._error_rng.random() < self.error_rate:
+            self.stats.dropped_errors += 1
+        elif self.sink is not None:
+            self.sim.schedule(self.prop_delay, self.sink, cell)
+        self._start_transmission()
+
+    def utilization(self) -> float:
+        """Fraction of elapsed simulated time the transmitter was busy."""
+        if self.sim.now <= 0:
+            return 0.0
+        return min(1.0, self.stats.busy_time / self.sim.now)

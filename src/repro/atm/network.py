@@ -1,0 +1,330 @@
+"""Network assembly: hosts, virtual-circuit setup, routing, admission.
+
+:class:`AtmNetwork` owns the node graph (hosts + switches + links),
+computes routes (Dijkstra over link delay), performs connection
+admission control against reserved bandwidth, installs per-hop VC
+table entries, and hands applications a :class:`VirtualCircuit` with
+AAL5 send/receive endpoints and contract-conformant shaping.
+
+VCs are unidirectional like real ATM connections;
+:meth:`AtmNetwork.open_duplex` opens a symmetric pair, which is what
+the transport layer (Fig 3.5's client–server model) builds on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.atm.aal5 import Aal5Receiver, Aal5Sender
+from repro.atm.cell import Cell
+from repro.atm.link import Link
+from repro.atm.qos import (
+    LeakyBucketShaper,
+        TrafficContract,
+    UsageParameterControl,
+)
+from repro.atm.simulator import Simulator
+from repro.atm.switch import Switch, VcTableEntry
+from repro.util.errors import NetworkError
+
+
+@dataclass
+class VcStats:
+    pdus_sent: int = 0
+    pdus_delivered: int = 0
+    bytes_sent: int = 0
+    bytes_delivered: int = 0
+    #: per-PDU end-to-end delays (send call -> last cell delivered)
+    delays: List[float] = field(default_factory=list)
+
+
+class VirtualCircuit:
+    """One direction of an established connection."""
+
+    def __init__(self, vc_id: int, src: "Host", dst: "Host",
+                 contract: TrafficContract, path: List[str],
+                 first_vci: int, last_vci: int) -> None:
+        self.vc_id = vc_id
+        self.src = src
+        self.dst = dst
+        self.contract = contract
+        self.path = path          # node names, src..dst
+        self.first_vci = first_vci
+        self.last_vci = last_vci
+        self.sender = Aal5Sender(vpi=0, vci=first_vci)
+        self.shaper = LeakyBucketShaper(contract)
+        self.stats = VcStats()
+        self.open = True
+
+    def send(self, payload: bytes) -> None:
+        """Segment *payload* and inject its cells, paced by the shaper."""
+        if not self.open:
+            raise NetworkError(f"VC {self.vc_id} is closed")
+        self.src._transmit(self, payload)
+
+
+class Host:
+    """Network endpoint.  One access link pair to its attachment switch."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.uplink: Optional[Link] = None          # host -> switch
+        self.attached_switch: Optional[Switch] = None
+        # receive side: vci -> (reassembler, handler, vc)
+        self._rx: Dict[int, Tuple[Aal5Receiver, Callable, VirtualCircuit]] = {}
+        self._send_times: Dict[Tuple[int, int], float] = {}
+
+    def _transmit(self, vc: VirtualCircuit, payload: bytes) -> None:
+        now = self.sim.now
+        cells = vc.sender.segment(payload, created_at=now)
+        vc.stats.pdus_sent += 1
+        vc.stats.bytes_sent += len(payload)
+        self._send_times[(vc.vc_id, cells[-1].seqno)] = now
+        category = vc.contract.category
+        for cell in cells:
+            depart = vc.shaper.next_departure(now)
+            self.sim.schedule_at(depart, self.uplink.enqueue, cell, category)
+
+    def _bind_receive(self, vci: int, vc: VirtualCircuit,
+                      handler: Callable[[bytes, "DeliveryInfo"], None]) -> None:
+        def on_pdu(payload: bytes, last_cell: Cell) -> None:
+            send_time = vc.src._send_times.pop((vc.vc_id, last_cell.seqno), None)
+            delay = self.sim.now - send_time if send_time is not None else float("nan")
+            vc.stats.pdus_delivered += 1
+            vc.stats.bytes_delivered += len(payload)
+            vc.stats.delays.append(delay)
+            handler(payload, DeliveryInfo(vc=vc, delay=delay,
+                                          delivered_at=self.sim.now,
+                                          hops=last_cell.hops))
+        self._rx[vci] = (Aal5Receiver(on_pdu), handler, vc)
+
+    def receive_cell(self, cell: Cell) -> None:
+        """Entry point wired as the sink of the host's downlink."""
+        entry = self._rx.get(cell.header.vci)
+        if entry is None:
+            return  # cell for a closed/unknown VC
+        entry[0].receive(cell)
+
+
+@dataclass
+class DeliveryInfo:
+    """Metadata handed to receive handlers with each delivered PDU."""
+
+    vc: VirtualCircuit
+    delay: float
+    delivered_at: float
+    hops: int
+
+
+class DuplexChannel:
+    """A symmetric pair of VCs between two hosts."""
+
+    def __init__(self, forward: VirtualCircuit, backward: VirtualCircuit) -> None:
+        self.forward = forward
+        self.backward = backward
+
+    def endpoint(self, host_name: str) -> "DuplexEndpoint":
+        if self.forward.src.name == host_name:
+            return DuplexEndpoint(send_vc=self.forward, recv_vc=self.backward)
+        if self.backward.src.name == host_name:
+            return DuplexEndpoint(send_vc=self.backward, recv_vc=self.forward)
+        raise NetworkError(f"host {host_name} is not an endpoint of this channel")
+
+
+@dataclass
+class DuplexEndpoint:
+    send_vc: VirtualCircuit
+    recv_vc: VirtualCircuit
+
+    def send(self, payload: bytes) -> None:
+        self.send_vc.send(payload)
+
+
+class AtmNetwork:
+    """The assembled network: topology + signalling + admission."""
+
+    def __init__(self, sim: Simulator, *, police: bool = True,
+                 admission_utilization: float = 0.9) -> None:
+        self.sim = sim
+        self.police = police
+        self.admission_utilization = admission_utilization
+        self.hosts: Dict[str, Host] = {}
+        self.switches: Dict[str, Switch] = {}
+        #: directed adjacency: (from, to) -> Link
+        self.links: Dict[Tuple[str, str], Link] = {}
+        self._vc_counter = itertools.count(1)
+        # next free VCI per (switch, out_port); VCIs < 32 are reserved
+        self._vci_alloc: Dict[Tuple[str, str], itertools.count] = {}
+
+    # -- topology construction ------------------------------------------
+
+    def add_switch(self, name: str, switching_delay: float = 4e-6) -> Switch:
+        if name in self.switches or name in self.hosts:
+            raise ValueError(f"duplicate node name {name!r}")
+        sw = Switch(self.sim, name, switching_delay)
+        self.switches[name] = sw
+        return sw
+
+    def add_host(self, name: str, switch_name: str, *, rate_bps: float = 155.52e6,
+                 prop_delay: float = 5e-6, buffer_cells: int = 1024) -> Host:
+        if name in self.switches or name in self.hosts:
+            raise ValueError(f"duplicate node name {name!r}")
+        if switch_name not in self.switches:
+            raise NetworkError(f"unknown switch {switch_name!r}")
+        host = Host(self.sim, name)
+        sw = self.switches[switch_name]
+        up = Link(self.sim, rate_bps, prop_delay, buffer_cells,
+                  name=f"{name}->{switch_name}")
+        down = Link(self.sim, rate_bps, prop_delay, buffer_cells,
+                    name=f"{switch_name}->{name}")
+        up.sink = lambda cell, _sw=sw, _port=name: _sw.receive(cell, _port)
+        down.sink = host.receive_cell
+        host.uplink = up
+        host.attached_switch = sw
+        sw.attach_output(name, down)
+        self.links[(name, switch_name)] = up
+        self.links[(switch_name, name)] = down
+        self.hosts[name] = host
+        return host
+
+    def add_trunk(self, a: str, b: str, *, rate_bps: float = 155.52e6,
+                  prop_delay: float = 5e-5, buffer_cells: int = 2048) -> None:
+        """Bidirectional switch-to-switch trunk (two simplex links)."""
+        for src, dst in ((a, b), (b, a)):
+            if src not in self.switches or dst not in self.switches:
+                raise NetworkError(f"trunk endpoints must be switches: {src}, {dst}")
+            link = Link(self.sim, rate_bps, prop_delay, buffer_cells,
+                        name=f"{src}->{dst}")
+            sw_dst = self.switches[dst]
+            link.sink = lambda cell, _sw=sw_dst, _port=src: _sw.receive(cell, _port)
+            self.switches[src].attach_output(dst, link)
+            self.links[(src, dst)] = link
+
+    # -- routing ----------------------------------------------------------
+
+    def _neighbors(self, node: str) -> List[str]:
+        return [dst for (src, dst) in self.links if src == node]
+
+    def shortest_path(self, src: str, dst: str) -> List[str]:
+        """Dijkstra over per-hop latency (propagation + one cell time)."""
+        dist: Dict[str, float] = {src: 0.0}
+        prev: Dict[str, str] = {}
+        heap: List[Tuple[float, str]] = [(0.0, src)]
+        visited = set()
+        while heap:
+            d, node = heapq.heappop(heap)
+            if node in visited:
+                continue
+            visited.add(node)
+            if node == dst:
+                break
+            for nxt in self._neighbors(node):
+                # hosts only terminate circuits; never route through one
+                if nxt in self.hosts and nxt != dst:
+                    continue
+                link = self.links[(node, nxt)]
+                nd = d + link.prop_delay + link.cell_time
+                if nd < dist.get(nxt, float("inf")):
+                    dist[nxt] = nd
+                    prev[nxt] = node
+                    heapq.heappush(heap, (nd, nxt))
+        if dst not in dist:
+            raise NetworkError(f"no route from {src} to {dst}")
+        path = [dst]
+        while path[-1] != src:
+            path.append(prev[path[-1]])
+        path.reverse()
+        return path
+
+    # -- signalling / admission -------------------------------------------
+
+    def _alloc_vci(self, switch: str, out_port: str) -> int:
+        key = (switch, out_port)
+        if key not in self._vci_alloc:
+            self._vci_alloc[key] = itertools.count(32)
+        return next(self._vci_alloc[key])
+
+    def open_vc(self, src: str, dst: str, contract: TrafficContract,
+                handler: Callable[[bytes, DeliveryInfo], None]) -> VirtualCircuit:
+        """Set up a unidirectional VC src->dst, or raise NetworkError.
+
+        Performs admission control along the route: the contract's
+        effective bandwidth must fit within ``admission_utilization``
+        of every link's remaining capacity.
+        """
+        if src not in self.hosts or dst not in self.hosts:
+            raise NetworkError("VC endpoints must be hosts")
+        path = self.shortest_path(src, dst)
+        eff_bw = contract.effective_bandwidth_bps()
+        hop_links = [self.links[(path[i], path[i + 1])] for i in range(len(path) - 1)]
+        for link in hop_links:
+            if link.reserved_bps + eff_bw > link.rate_bps * self.admission_utilization:
+                raise NetworkError(
+                    f"admission control rejected VC {src}->{dst}: link "
+                    f"{link.name} has {link.rate_bps * self.admission_utilization - link.reserved_bps:.0f} "
+                    f"bps free, contract needs {eff_bw:.0f} bps"
+                )
+        for link in hop_links:
+            link.reserved_bps += eff_bw
+
+        vc_id = next(self._vc_counter)
+        # allocate the label used on each hop's outgoing link
+        first_vci = self._alloc_vci(src, path[1])
+        in_vci = first_vci
+        in_port = src
+        for i in range(1, len(path) - 1):
+            sw_name = path[i]
+            out_port = path[i + 1]
+            out_vci = self._alloc_vci(sw_name, out_port)
+            upc = None
+            if self.police and i == 1:
+                upc = UsageParameterControl(contract)
+            self.switches[sw_name].install_route(
+                in_port, 0, in_vci,
+                VcTableEntry(out_port=out_port, out_vpi=0, out_vci=out_vci,
+                             category=contract.category, upc=upc))
+            in_port = sw_name
+            in_vci = out_vci
+
+        vc = VirtualCircuit(vc_id, self.hosts[src], self.hosts[dst],
+                            contract, path, first_vci, last_vci=in_vci)
+        self.hosts[dst]._bind_receive(in_vci, vc, handler)
+        return vc
+
+    def open_duplex(self, a: str, b: str, contract: TrafficContract,
+                    handler_a: Callable[[bytes, DeliveryInfo], None],
+                    handler_b: Callable[[bytes, DeliveryInfo], None]) -> DuplexChannel:
+        """Open a symmetric VC pair; *handler_a* receives b->a traffic."""
+        fwd = self.open_vc(a, b, contract, handler_b)
+        try:
+            bwd = self.open_vc(b, a, contract, handler_a)
+        except NetworkError:
+            self.close_vc(fwd)
+            raise
+        return DuplexChannel(forward=fwd, backward=bwd)
+
+    def close_vc(self, vc: VirtualCircuit) -> None:
+        """Tear down a VC: release labels, bandwidth, and bindings."""
+        if not vc.open:
+            return
+        vc.open = False
+        eff_bw = vc.contract.effective_bandwidth_bps()
+        in_vci = vc.first_vci
+        in_port = vc.path[0]
+        for i in range(1, len(vc.path) - 1):
+            sw_name = vc.path[i]
+            sw = self.switches[sw_name]
+            entry = sw._table.get((in_port, 0, in_vci))
+            sw.remove_route(in_port, 0, in_vci)
+            if entry is None:
+                break
+            in_port = sw_name
+            in_vci = entry.out_vci
+        for i in range(len(vc.path) - 1):
+            link = self.links[(vc.path[i], vc.path[i + 1])]
+            link.reserved_bps = max(0.0, link.reserved_bps - eff_bw)
+        vc.dst._rx.pop(vc.last_vci, None)

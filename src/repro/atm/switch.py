@@ -1,0 +1,111 @@
+"""Output-buffered ATM switches.
+
+A switch owns a set of named ports.  Each port has an outgoing
+:class:`~repro.atm.link.Link`; incoming cells are delivered by the
+upstream link together with the port they arrived on.  Forwarding is a
+VP/VC table lookup keyed on ``(in_port, vpi, vci)``; the entry gives
+the output port and the relabelled VPI/VCI — the classic ATM label
+swap.  Cells with no table entry are counted and discarded, as real
+switches do.
+
+Ingress policing (UPC) can be installed per connection on the port
+where a host attaches; non-conforming cells are tagged or dropped
+before they consume trunk capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.atm.cell import Cell
+from repro.atm.link import Link
+from repro.atm.qos import ServiceCategory, UsageParameterControl
+from repro.atm.simulator import Simulator
+
+
+@dataclass
+class VcTableEntry:
+    out_port: str
+    out_vpi: int
+    out_vci: int
+    category: ServiceCategory = ServiceCategory.UBR
+    upc: Optional[UsageParameterControl] = None
+
+
+@dataclass
+class SwitchStats:
+    switched: int = 0
+    unroutable: int = 0
+    policed_dropped: int = 0
+    policed_tagged: int = 0
+
+
+class Switch:
+    """A label-swapping, output-buffered cell switch."""
+
+    def __init__(self, sim: Simulator, name: str, switching_delay: float = 4e-6) -> None:
+        self.sim = sim
+        self.name = name
+        self.switching_delay = switching_delay
+        self._out_links: Dict[str, Link] = {}
+        self._table: Dict[Tuple[str, int, int], VcTableEntry] = {}
+        self.stats = SwitchStats()
+
+    def attach_output(self, port: str, link: Link) -> None:
+        """Wire the outgoing link for *port* (port names = neighbour node)."""
+        if port in self._out_links:
+            raise ValueError(f"switch {self.name}: port {port} already wired")
+        self._out_links[port] = link
+
+    def output_link(self, port: str) -> Link:
+        return self._out_links[port]
+
+    @property
+    def ports(self) -> Tuple[str, ...]:
+        return tuple(self._out_links)
+
+    def install_route(self, in_port: str, in_vpi: int, in_vci: int,
+                      entry: VcTableEntry) -> None:
+        key = (in_port, in_vpi, in_vci)
+        if key in self._table:
+            raise ValueError(
+                f"switch {self.name}: VC ({in_port},{in_vpi},{in_vci}) already in use"
+            )
+        if entry.out_port not in self._out_links:
+            raise ValueError(
+                f"switch {self.name}: unknown output port {entry.out_port!r}"
+            )
+        self._table[key] = entry
+
+    def remove_route(self, in_port: str, in_vpi: int, in_vci: int) -> None:
+        self._table.pop((in_port, in_vpi, in_vci), None)
+
+    def receive(self, cell: Cell, in_port: str) -> None:
+        """Cell arrival from the upstream link on *in_port*."""
+        entry = self._table.get((in_port, cell.header.vpi, cell.header.vci))
+        if entry is None:
+            self.stats.unroutable += 1
+            return
+        if entry.upc is not None:
+            verdict = entry.upc.police(self.sim.now)
+            if verdict == "drop":
+                self.stats.policed_dropped += 1
+                return
+            if verdict == "tag":
+                self.stats.policed_tagged += 1
+                hdr = type(cell.header)(
+                    vpi=cell.header.vpi, vci=cell.header.vci,
+                    pti=cell.header.pti, clp=1, gfc=cell.header.gfc)
+                cell = Cell(header=hdr, payload=cell.payload,
+                            created_at=cell.created_at, seqno=cell.seqno,
+                            hops=cell.hops)
+        out = cell.with_vc(entry.out_vpi, entry.out_vci)
+        out.hops = cell.hops + 1
+        self.stats.switched += 1
+        # model the fabric traversal as a fixed delay before the cell
+        # reaches the output buffer
+        self.sim.schedule(self.switching_delay, self._emit, out, entry)
+
+    def _emit(self, cell: Cell, entry: VcTableEntry) -> None:
+        self._out_links[entry.out_port].enqueue(cell, entry.category)

@@ -1,0 +1,69 @@
+"""Courseware authoring environment (Chapter 4).
+
+Authoring in MITS is layered (Fig 4.2): the author picks a **teaching
+architecture**, fills a **document model**, which is realised as
+**MHEG objects** referencing **media** — each layer mapped to the next
+by the courseware editor.  This subpackage implements all four layers
+above the media:
+
+* :mod:`repro.authoring.hyperdoc` — the hypermedia document model
+  (Fig 4.3): logical, layout, and navigation structures;
+* :mod:`repro.authoring.imd` — the interactive multimedia document
+  model (Fig 4.4): sections/subsections/scenes with a rendering
+  scenario;
+* :mod:`repro.authoring.timeline` — the time-line structure, including
+  pre-emptable entries (dynamic interaction, Fig 4.4b);
+* :mod:`repro.authoring.behavior` — the behaviour structure: condition
+  sets firing action sets (Fig 4.4c);
+* :mod:`repro.authoring.teaching` — the six Schank teaching
+  architectures as courseware frameworks (§4.2);
+* :mod:`repro.authoring.courseware` — the courseware class library of
+  Fig 4.6: Interactive / Output / Hyperobject templates;
+* :mod:`repro.authoring.editor` — the courseware editor: id
+  allocation, layer mapping, compilation to an MHEG container (and to
+  a HyTime document for the §2.3 comparison).
+"""
+
+from repro.authoring.hyperdoc import (
+    HyperDocument, Page, PageItem, NavigationLink,
+)
+from repro.authoring.imd import (
+    InteractiveDocument, Section, Scene, SceneObject,
+)
+from repro.authoring.timeline import TimelineEntry, Timeline
+from repro.authoring.behavior import Behavior, BehaviorRule
+from repro.authoring.teaching import (
+    TeachingArchitecture, architecture_by_name, list_architectures,
+)
+from repro.authoring.courseware import (
+    Button, Menu, EntryField, OutputObject, Hyperobject,
+)
+from repro.authoring.editor import CoursewareEditor, CompiledCourseware
+from repro.authoring.collaborative import CollaborativeSession, EditOperation
+
+__all__ = [
+    "HyperDocument",
+    "Page",
+    "PageItem",
+    "NavigationLink",
+    "InteractiveDocument",
+    "Section",
+    "Scene",
+    "SceneObject",
+    "TimelineEntry",
+    "Timeline",
+    "Behavior",
+    "BehaviorRule",
+    "TeachingArchitecture",
+    "architecture_by_name",
+    "list_architectures",
+    "Button",
+    "Menu",
+    "EntryField",
+    "OutputObject",
+    "Hyperobject",
+    "CoursewareEditor",
+    "CompiledCourseware",
+    "CollaborativeSession",
+    "EditOperation",
+]

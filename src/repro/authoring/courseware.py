@@ -1,0 +1,234 @@
+"""The courseware class library (Fig 4.6, §4.4.2).
+
+"A courseware class library is built upon the basic MHEG class library
+so that courseware authors can easily create objects by instantiating
+them directly without any deep understanding of the MHEG concepts.  In
+fact, this library acts as a bridge between the courseware authors and
+the MHEG coding format."
+
+Three object families:
+
+* **Interactive** — selection styles in the GUI (buttons, menus, entry
+  fields) plus the actions they lead to;
+* **Output** — anything presented to the user (text, image, audio,
+  audiovisual sequences);
+* **Hyperobject** — input and output objects plus explicit links
+  between them.
+
+Each template expands into MHEG objects via ``to_mheg(alloc)`` where
+*alloc* is the editor's identifier allocator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.mheg.classes import (
+    ActionClass, ActionVerb, CompositeClass, ElementaryAction,
+    GenericValueClass, ImageContentClass, LinkClass, TextContentClass,
+    AudioContentClass, VideoContentClass, GraphicsContentClass,
+)
+from repro.mheg.classes.behavior import ConditionKind, LinkCondition
+from repro.mheg.identifiers import MhegIdentifier, ObjectReference
+from repro.util.errors import AuthoringError
+
+#: allocator signature: alloc() -> MhegIdentifier
+Alloc = Callable[[], MhegIdentifier]
+
+_CONTENT_BY_KIND = {
+    "text": TextContentClass,
+    "image": ImageContentClass,
+    "graphics": GraphicsContentClass,
+    "audio": AudioContentClass,
+    "video": VideoContentClass,
+}
+
+
+@dataclass
+class Expansion:
+    """Result of expanding a template: objects plus the primary ref."""
+
+    objects: List[Any]
+    main: ObjectReference
+
+
+@dataclass
+class Button:
+    """Interactive: a clickable labelled region."""
+
+    name: str
+    label: str
+    position: Tuple[int, int] = (0, 0)
+    size: Tuple[int, int] = (120, 32)
+
+    def to_mheg(self, alloc: Alloc) -> Expansion:
+        content = TextContentClass(
+            identifier=alloc(), content_hook="STXT",
+            data=self.label.encode("utf-8"),
+            presentation={"position": list(self.position),
+                          "size": list(self.size), "selectable": True,
+                          "role": "button"})
+        content.info.name = self.name
+        return Expansion(objects=[content],
+                         main=ObjectReference(content.identifier))
+
+
+@dataclass
+class Menu:
+    """Interactive: a column of buttons."""
+
+    name: str
+    entries: List[str]
+    position: Tuple[int, int] = (0, 0)
+    entry_height: int = 36
+
+    def to_mheg(self, alloc: Alloc) -> Expansion:
+        if not self.entries:
+            raise AuthoringError(f"menu {self.name}: no entries")
+        objects: List[Any] = []
+        refs: List[ObjectReference] = []
+        x, y = self.position
+        for i, entry in enumerate(self.entries):
+            button = Button(name=f"{self.name}:{entry}", label=entry,
+                            position=(x, y + i * self.entry_height))
+            expansion = button.to_mheg(alloc)
+            objects.extend(expansion.objects)
+            refs.append(expansion.main)
+        composite = CompositeClass(
+            identifier=alloc(), components=refs,
+            sync_spec={"kind": "elementary",
+                       "entries": [{"target": str(r), "time": 0.0}
+                                   for r in refs]})
+        composite.info.name = self.name
+        objects.append(composite)
+        return Expansion(objects=objects,
+                         main=ObjectReference(composite.identifier))
+
+
+@dataclass
+class EntryField:
+    """Interactive: a prompt plus a value the user fills in.
+
+    Selection of the field (a click) is the interaction the engine
+    models; the entered value arrives via a set_value action from the
+    navigator's input handling.
+    """
+
+    name: str
+    prompt: str
+    initial: Any = ""
+    position: Tuple[int, int] = (0, 0)
+
+    def to_mheg(self, alloc: Alloc) -> Expansion:
+        prompt = TextContentClass(
+            identifier=alloc(), content_hook="STXT",
+            data=self.prompt.encode("utf-8"),
+            presentation={"position": list(self.position),
+                          "role": "prompt"})
+        prompt.info.name = f"{self.name}:prompt"
+        value = GenericValueClass(identifier=alloc(), value=self.initial)
+        value.info.name = f"{self.name}:value"
+        field_box = TextContentClass(
+            identifier=alloc(), content_hook="STXT", data=b"",
+            presentation={"position": [self.position[0] + 140,
+                                       self.position[1]],
+                          "selectable": True, "role": "entry"})
+        field_box.info.name = self.name
+        refs = [ObjectReference(o.identifier)
+                for o in (prompt, value, field_box)]
+        composite = CompositeClass(
+            identifier=alloc(), components=refs,
+            sync_spec={"kind": "elementary",
+                       "entries": [{"target": str(r), "time": 0.0}
+                                   for r in refs]})
+        composite.info.name = f"{self.name}:group"
+        return Expansion(objects=[prompt, value, field_box, composite],
+                         main=ObjectReference(composite.identifier))
+
+
+@dataclass
+class OutputObject:
+    """Output: a presentable media object."""
+
+    name: str
+    kind: str                      # text/image/graphics/audio/video
+    content_ref: str
+    position: Tuple[int, int] = (0, 0)
+    size: Optional[Tuple[int, int]] = None
+    duration: Optional[float] = None
+    volume: Optional[int] = None
+    coding_method: str = ""
+
+    def to_mheg(self, alloc: Alloc) -> Expansion:
+        cls = _CONTENT_BY_KIND.get(self.kind)
+        if cls is None:
+            raise AuthoringError(
+                f"output object {self.name}: unknown kind {self.kind!r}")
+        hook = self.coding_method or {
+            "text": "STXT", "image": "SIMG", "graphics": "SIMG",
+            "audio": "SPCM", "video": "SMPG"}[self.kind]
+        presentation: Dict[str, Any] = {"position": list(self.position)}
+        if self.size is not None:
+            presentation["size"] = list(self.size)
+        content = cls(identifier=alloc(), content_hook=hook,
+                      content_ref=self.content_ref,
+                      original_duration=self.duration,
+                      original_volume=self.volume,
+                      presentation=presentation)
+        content.info.name = self.name
+        return Expansion(objects=[content],
+                         main=ObjectReference(content.identifier))
+
+
+@dataclass
+class Hyperobject:
+    """Input and output objects plus explicit links between them.
+
+    *links* maps an input object name to the output object name it
+    presents when activated.
+    """
+
+    name: str
+    inputs: List[Button]
+    outputs: List[OutputObject]
+    links: Dict[str, str]
+
+    def to_mheg(self, alloc: Alloc) -> Expansion:
+        objects: List[Any] = []
+        main_refs: Dict[str, ObjectReference] = {}
+        for template in [*self.inputs, *self.outputs]:
+            expansion = template.to_mheg(alloc)
+            objects.extend(expansion.objects)
+            main_refs[template.name] = expansion.main
+        link_refs: List[ObjectReference] = []
+        for input_name, output_name in self.links.items():
+            if input_name not in main_refs or output_name not in main_refs:
+                raise AuthoringError(
+                    f"hyperobject {self.name}: link {input_name!r} -> "
+                    f"{output_name!r} names unknown objects")
+            link = LinkClass(
+                identifier=alloc(),
+                trigger_conditions=[LinkCondition(
+                    ConditionKind.TRIGGER, main_refs[input_name],
+                    "selected", "==", True)],
+                effect=ActionClass(identifier=alloc(), actions=[
+                    ElementaryAction(ActionVerb.RUN,
+                                     main_refs[output_name])]))
+            link.info.name = f"{self.name}:{input_name}->{output_name}"
+            objects.append(link)
+            link_refs.append(ObjectReference(link.identifier))
+        component_refs = [main_refs[t.name]
+                          for t in [*self.inputs, *self.outputs]]
+        input_names = {t.name for t in self.inputs}
+        composite = CompositeClass(
+            identifier=alloc(), components=component_refs,
+            links=link_refs,
+            sync_spec={"kind": "elementary",
+                       "entries": [{"target": str(main_refs[t.name]),
+                                    "time": 0.0}
+                                   for t in self.inputs]})
+        composite.info.name = self.name
+        objects.append(composite)
+        return Expansion(objects=objects,
+                         main=ObjectReference(composite.identifier))

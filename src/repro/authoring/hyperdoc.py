@@ -1,0 +1,166 @@
+"""Hypermedia document model (Fig 4.3, §4.3.2).
+
+A hypermedia document is modelled with three structures:
+
+* **logical** — the document is composed of pages; each page contains
+  media objects, including "choice" objects (buttons or clickable
+  words) added for interactive behaviour;
+* **layout** — spatial characteristics of the media objects on a page;
+* **navigation** — hyperlinks between nodes, with the conditions
+  (usually a choice activation) that fire them.
+
+Static interaction only: playback is driven entirely by the user's
+choices, no time-line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.errors import AuthoringError
+
+#: media kinds a page item may carry; "choice" is the interaction object
+ITEM_KINDS = ("text", "image", "graphics", "audio", "video", "choice")
+
+
+@dataclass
+class PageItem:
+    """One media object placed on a page (logical + layout data)."""
+
+    name: str
+    kind: str
+    #: content database reference for real media; label text for choices
+    content_ref: Optional[str] = None
+    label: str = ""
+    position: Tuple[int, int] = (0, 0)
+    size: Optional[Tuple[int, int]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise AuthoringError("page item needs a name")
+        if self.kind not in ITEM_KINDS:
+            raise AuthoringError(
+                f"{self.name}: unknown item kind {self.kind!r}")
+        if self.kind == "choice":
+            if not self.label:
+                raise AuthoringError(f"{self.name}: a choice needs a label")
+        elif self.content_ref is None:
+            raise AuthoringError(
+                f"{self.name}: media items need a content_ref")
+
+
+@dataclass
+class Page:
+    """A page of the logical structure."""
+
+    name: str
+    title: str = ""
+    items: List[PageItem] = field(default_factory=list)
+
+    def item(self, name: str) -> PageItem:
+        for item in self.items:
+            if item.name == name:
+                return item
+        raise AuthoringError(f"page {self.name}: no item {name!r}")
+
+    def choices(self) -> List[PageItem]:
+        return [i for i in self.items if i.kind == "choice"]
+
+    def validate(self) -> None:
+        names = [i.name for i in self.items]
+        if len(set(names)) != len(names):
+            raise AuthoringError(f"page {self.name}: duplicate item names")
+
+
+@dataclass
+class NavigationLink:
+    """One edge of the navigation structure.
+
+    The link from *from_page* fires when *condition* (a choice item on
+    that page) is activated, presenting *to_page*.
+    """
+
+    from_page: str
+    condition: str     # choice item name on from_page
+    to_page: str
+
+
+class HyperDocument:
+    """The assembled hypermedia document."""
+
+    def __init__(self, name: str, title: str = "") -> None:
+        if not name:
+            raise AuthoringError("document needs a name")
+        self.name = name
+        self.title = title or name
+        self.pages: List[Page] = []
+        self.links: List[NavigationLink] = []
+        self.start_page: Optional[str] = None
+
+    def add_page(self, page: Page) -> Page:
+        if any(p.name == page.name for p in self.pages):
+            raise AuthoringError(f"duplicate page name {page.name!r}")
+        page.validate()
+        self.pages.append(page)
+        if self.start_page is None:
+            self.start_page = page.name
+        return page
+
+    def page(self, name: str) -> Page:
+        for page in self.pages:
+            if page.name == name:
+                return page
+        raise AuthoringError(f"no page {name!r}")
+
+    def add_link(self, link: NavigationLink) -> NavigationLink:
+        self.links.append(link)
+        return link
+
+    def links_from(self, page_name: str) -> List[NavigationLink]:
+        return [l for l in self.links if l.from_page == page_name]
+
+    def navigation_subset(self, page_name: str) -> Dict[str, List[str]]:
+        """The navigation-view subset (§4.5.3): all nodes linked from a
+        given node, keyed by the firing choice."""
+        out: Dict[str, List[str]] = {}
+        for link in self.links_from(page_name):
+            out.setdefault(link.condition, []).append(link.to_page)
+        return out
+
+    def reachable_pages(self) -> List[str]:
+        """Pages reachable from the start page via navigation links."""
+        if self.start_page is None:
+            return []
+        seen = {self.start_page}
+        frontier = [self.start_page]
+        while frontier:
+            page = frontier.pop()
+            for link in self.links_from(page):
+                if link.to_page not in seen:
+                    seen.add(link.to_page)
+                    frontier.append(link.to_page)
+        return sorted(seen)
+
+    def validate(self) -> None:
+        if not self.pages:
+            raise AuthoringError(f"document {self.name}: no pages")
+        page_names = {p.name for p in self.pages}
+        for link in self.links:
+            if link.from_page not in page_names:
+                raise AuthoringError(
+                    f"link from unknown page {link.from_page!r}")
+            if link.to_page not in page_names:
+                raise AuthoringError(
+                    f"link to unknown page {link.to_page!r}")
+            page = self.page(link.from_page)
+            choice_names = {c.name for c in page.choices()}
+            if link.condition not in choice_names:
+                raise AuthoringError(
+                    f"link condition {link.condition!r} is not a choice on "
+                    f"page {link.from_page!r}")
+        unreachable = page_names - set(self.reachable_pages())
+        if unreachable:
+            raise AuthoringError(
+                f"document {self.name}: unreachable pages "
+                f"{sorted(unreachable)}")

@@ -1,0 +1,169 @@
+"""Interactive multimedia document model (Fig 4.4, §4.3.3).
+
+Dynamic interaction: the document has both a pre-defined rendering
+scenario (time-line + behaviour) and an interactive interface.  The
+logical structure divides the document into sections, subsections, and
+finally *scenes* — "the grouping of a certain number of objects
+presented in the same space for a certain period of time".  Sections
+play back serially by default, as the thesis prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.authoring.behavior import Behavior
+from repro.authoring.timeline import Timeline
+from repro.util.errors import AuthoringError
+
+SCENE_OBJECT_KINDS = ("text", "image", "graphics", "audio", "video",
+                      "choice")
+
+
+@dataclass
+class SceneObject:
+    """A media or choice object inside a scene, with layout data."""
+
+    name: str
+    kind: str
+    content_ref: Optional[str] = None
+    label: str = ""
+    position: Tuple[int, int] = (0, 0)
+    size: Optional[Tuple[int, int]] = None
+    volume: Optional[int] = None
+    channel: str = "main"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise AuthoringError("scene object needs a name")
+        if self.kind not in SCENE_OBJECT_KINDS:
+            raise AuthoringError(
+                f"{self.name}: unknown object kind {self.kind!r}")
+        if self.kind == "choice":
+            if not self.label:
+                raise AuthoringError(f"{self.name}: a choice needs a label")
+        elif self.content_ref is None:
+            raise AuthoringError(
+                f"{self.name}: media objects need a content_ref")
+
+
+@dataclass
+class Scene:
+    """One scene: objects + rendering scenario (time-line + behaviour)."""
+
+    name: str
+    objects: List[SceneObject] = field(default_factory=list)
+    timeline: Timeline = field(default_factory=Timeline)
+    behavior: Behavior = field(default_factory=Behavior)
+
+    def object(self, name: str) -> SceneObject:
+        for obj in self.objects:
+            if obj.name == name:
+                return obj
+        raise AuthoringError(f"scene {self.name}: no object {name!r}")
+
+    def object_names(self) -> set:
+        return {o.name for o in self.objects}
+
+    def validate(self) -> None:
+        names = [o.name for o in self.objects]
+        if len(set(names)) != len(names):
+            raise AuthoringError(f"scene {self.name}: duplicate object names")
+        known = self.object_names()
+        self.timeline.validate(known)
+        self.behavior.validate(known)
+        # every non-choice object should appear on the time-line; choices
+        # are presented for the whole scene
+        scheduled = {e.object_name for e in self.timeline.entries}
+        for obj in self.objects:
+            if obj.kind != "choice" and obj.name not in scheduled:
+                raise AuthoringError(
+                    f"scene {self.name}: object {obj.name!r} never "
+                    "scheduled on the time-line")
+
+
+@dataclass
+class Section:
+    """A section (or subsection) of the logical structure.
+
+    Either nested subsections or scenes — mixing both levels in one
+    node is not part of the model.
+    """
+
+    name: str
+    title: str = ""
+    subsections: List["Section"] = field(default_factory=list)
+    scenes: List[Scene] = field(default_factory=list)
+
+    def validate(self) -> None:
+        if self.subsections and self.scenes:
+            raise AuthoringError(
+                f"section {self.name}: cannot hold both subsections and "
+                "scenes directly")
+        if not self.subsections and not self.scenes:
+            raise AuthoringError(f"section {self.name}: empty section")
+        for sub in self.subsections:
+            sub.validate()
+        for scene in self.scenes:
+            scene.validate()
+
+    def all_scenes(self) -> List[Scene]:
+        out: List[Scene] = []
+        for sub in self.subsections:
+            out.extend(sub.all_scenes())
+        out.extend(self.scenes)
+        return out
+
+
+class InteractiveDocument:
+    """The assembled interactive multimedia document."""
+
+    def __init__(self, name: str, title: str = "") -> None:
+        if not name:
+            raise AuthoringError("document needs a name")
+        self.name = name
+        self.title = title or name
+        self.sections: List[Section] = []
+
+    def add_section(self, section: Section) -> Section:
+        if any(s.name == section.name for s in self.sections):
+            raise AuthoringError(f"duplicate section name {section.name!r}")
+        self.sections.append(section)
+        return section
+
+    def all_scenes(self) -> List[Scene]:
+        out: List[Scene] = []
+        for section in self.sections:
+            out.extend(section.all_scenes())
+        return out
+
+    def scene(self, name: str) -> Scene:
+        for scene in self.all_scenes():
+            if scene.name == name:
+                return scene
+        raise AuthoringError(f"no scene {name!r}")
+
+    def validate(self) -> None:
+        if not self.sections:
+            raise AuthoringError(f"document {self.name}: no sections")
+        for section in self.sections:
+            section.validate()
+        names = [s.name for s in self.all_scenes()]
+        if len(set(names)) != len(names):
+            raise AuthoringError(
+                f"document {self.name}: duplicate scene names")
+
+    def logical_view(self) -> Dict:
+        """The hierarchical logical view (§4.5.3), as plain data."""
+        def section_view(section: Section) -> Dict:
+            return {
+                "name": section.name,
+                "title": section.title,
+                "subsections": [section_view(s) for s in section.subsections],
+                "scenes": [{"name": sc.name,
+                            "objects": [o.name for o in sc.objects]}
+                           for sc in section.scenes],
+            }
+        return {"name": self.name, "title": self.title,
+                "sections": [section_view(s) for s in self.sections]}

@@ -1,0 +1,24 @@
+"""MITS orchestration: the five-site distributed system (Fig 3.1-3.5).
+
+* :mod:`repro.core.sites` — one class per site: media production
+  center, author site, courseware database, user site (navigator), and
+  on-line facilitator;
+* :mod:`repro.core.system` — :class:`MitsSystem`, which builds the ATM
+  network, instantiates sites, opens their connections, and offers the
+  end-to-end flows the thesis demonstrates: produce media, author and
+  publish courseware, register students, and take a course on demand.
+"""
+
+from repro.core.sites import (
+    AuthorSite, DatabaseSite, FacilitatorSite, ProductionSite, UserSite,
+)
+from repro.core.system import MitsSystem
+
+__all__ = [
+    "AuthorSite",
+    "DatabaseSite",
+    "FacilitatorSite",
+    "ProductionSite",
+    "UserSite",
+    "MitsSystem",
+]

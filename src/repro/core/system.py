@@ -1,0 +1,122 @@
+"""MitsSystem: one whole MITS deployment in one object.
+
+Builds the network (campus star or OCRInet-like metro WAN), places the
+five kinds of site on it (Fig 3.1), opens their connections, and
+exposes the end-to-end flows: produce media, author and publish
+courseware, register students, take a course on demand, ask the
+facilitator.  The benchmarks and examples all start from here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.atm.network import AtmNetwork
+from repro.atm.simulator import Simulator
+from repro.atm.topology import ocrinet_like, star_campus
+from repro.core.sites import (
+    AuthorSite, DatabaseSite, FacilitatorSite,
+    ProductionSite, UserSite,
+)
+from repro.database.api import wait_for
+from repro.media.base import MediaObject
+from repro.util.errors import NetworkError
+
+
+class MitsSystem:
+    """A deployed MITS instance over a simulated ATM network."""
+
+    def __init__(self, *, topology: str = "star", extra_users: int = 0,
+                 seed: int = 1996, access_bps: float = 155.52e6) -> None:
+        self.sim = Simulator()
+        self.seed = seed
+        if topology == "star":
+            hosts = ["production", "author1", "database", "facilitator",
+                     "user1"]
+            hosts += [f"user{i + 2}" for i in range(extra_users)]
+            self.network, self.spec = star_campus(
+                self.sim, hosts, access_bps=access_bps)
+        elif topology == "ocrinet":
+            self.network, self.spec = ocrinet_like(
+                self.sim, extra_users=extra_users, access_bps=access_bps)
+        else:
+            raise NetworkError(f"unknown topology {topology!r}")
+
+        self.database = DatabaseSite(self.sim, self.network, "database")
+        self.facilitator = FacilitatorSite(self.sim, self.network,
+                                           "facilitator")
+        self.production = ProductionSite(
+            self.sim, "production",
+            self.database.serve("production"), seed=seed)
+        self.authors: Dict[str, AuthorSite] = {}
+        self.users: Dict[str, UserSite] = {}
+
+    # -- site management ---------------------------------------------------
+
+    def add_author(self, host: str, application: str,
+                   catalog: Optional[Dict[str, MediaObject]] = None
+                   ) -> AuthorSite:
+        site = AuthorSite(self.sim, host, self.database.serve(host),
+                          application, catalog=catalog)
+        self.authors[host] = site
+        return site
+
+    def add_user(self, host: str) -> UserSite:
+        if host not in self.network.hosts:
+            self._attach_host(host)
+        site = UserSite(self.sim, host,
+                        db_rpc=self.database.serve(host),
+                        school_rpc=self.facilitator.serve(host))
+        self.users[host] = site
+        return site
+
+    def _attach_host(self, host: str) -> None:
+        """Grow the topology: attach a new host to an edge switch."""
+        if self.spec.name == "star":
+            switch = "sw0"
+        else:
+            edge = [s for s in self.spec.switches if s != "ottawa-u"]
+            switch = edge[len(self.users) % len(edge)]
+        self.network.add_host(host, switch,
+                              rate_bps=self.spec.access_bps)
+        self.spec.hosts.append(host)
+
+    # -- end-to-end convenience flows ------------------------------------------
+
+    def wait(self, pending, timeout: float = 60.0) -> Any:
+        """Run the simulator until a pending RPC completes."""
+        return wait_for(self.sim, pending, timeout=timeout)
+
+    def publish_media(self, media: MediaObject) -> None:
+        self.wait(self.production.publish(media))
+
+    def produce_standard_assets(self, prefix: str = "atm",
+                                seconds: float = 1.0) -> Dict[str, MediaObject]:
+        """Produce and publish the standard demo asset set."""
+        center = self.production.center
+        assets = {
+            f"{prefix}-intro-video": center.produce_video(
+                f"{prefix}-intro-video", seconds=seconds),
+            f"{prefix}-lecture-audio": center.produce_audio(
+                f"{prefix}-lecture-audio", seconds=seconds),
+            f"{prefix}-diagram": center.produce_image(f"{prefix}-diagram"),
+            f"{prefix}-notes": center.produce_text(f"{prefix}-notes"),
+        }
+        for media in assets.values():
+            self.publish_media(media)
+        return assets
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Deployment summary (Fig 3.1 realised), for reports."""
+        return {
+            "topology": self.spec.name,
+            "switches": list(self.spec.switches),
+            "sites": {
+                "production": self.production.host,
+                "database": self.database.host,
+                "facilitator": self.facilitator.host,
+                "authors": sorted(self.authors),
+                "users": sorted(self.users),
+            },
+            "db_statistics": self.database.db.statistics(),
+        }

@@ -1,0 +1,159 @@
+"""Database persistence — the MEDIAFILE role (Fig 5.1).
+
+MEDIABASE's storage layer put multimedia data on real disks; here the
+equivalent is a deterministic snapshot format so a courseware database
+survives process restarts: :func:`snapshot` serialises every record to
+bytes (via the wire encoding), :func:`restore` rebuilds a fully
+functional :class:`~repro.database.api.CoursewareDatabase`, including
+the keyword tree and inverted index (rebuilt from the records rather
+than stored, so indexes can never drift from the data).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict
+
+from repro.database.api import (
+    COURSES, COURSEWARE, CoursewareDatabase, LIBRARY, STUDENTS,
+)
+from repro.database.contentserver import CONTENT_COLLECTION
+from repro.database.schema import (
+    ContentRecord, CourseRecord, CoursewareRecord, LibraryDocument,
+    StudentRecord,
+)
+from repro.transport.wire import dump_value, load_value
+from repro.util.errors import DatabaseError
+
+_MAGIC = b"MDB1"
+
+
+def _courseware_to_value(r: CoursewareRecord) -> Dict[str, Any]:
+    return {"courseware_id": r.courseware_id, "title": r.title,
+            "program": r.program, "container_blob": r.container_blob,
+            "keywords": list(r.keywords),
+            "introduction_ref": r.introduction_ref,
+            "author": r.author, "version": r.version}
+
+
+def _courseware_from_value(v: Dict[str, Any]) -> CoursewareRecord:
+    return CoursewareRecord(
+        courseware_id=v["courseware_id"], title=v["title"],
+        program=v["program"], container_blob=v["container_blob"],
+        keywords=list(v.get("keywords", [])),
+        introduction_ref=v.get("introduction_ref"),
+        author=v.get("author", ""), version=int(v.get("version", 1)))
+
+
+def _content_to_value(r: ContentRecord) -> Dict[str, Any]:
+    return {"content_ref": r.content_ref, "media_kind": r.media_kind,
+            "coding_method": r.coding_method, "data": r.data,
+            "attributes": dict(r.attributes)}
+
+
+def _content_from_value(v: Dict[str, Any]) -> ContentRecord:
+    return ContentRecord(content_ref=v["content_ref"],
+                         media_kind=v["media_kind"],
+                         coding_method=v["coding_method"],
+                         data=v["data"],
+                         attributes=dict(v.get("attributes", {})))
+
+
+def _course_to_value(r: CourseRecord) -> Dict[str, Any]:
+    return {"course_code": r.course_code, "name": r.name,
+            "program": r.program, "courseware_id": r.courseware_id,
+            "sessions_planned": r.sessions_planned,
+            "description": r.description}
+
+
+def _course_from_value(v: Dict[str, Any]) -> CourseRecord:
+    return CourseRecord(course_code=v["course_code"], name=v["name"],
+                        program=v["program"],
+                        courseware_id=v["courseware_id"],
+                        sessions_planned=int(v.get("sessions_planned", 13)),
+                        description=v.get("description", ""))
+
+
+def _student_to_value(r: StudentRecord) -> Dict[str, Any]:
+    return {"student_number": r.student_number, "name": r.name,
+            "address": r.address, "email": r.email,
+            "registered_courses": list(r.registered_courses),
+            "resume_positions": dict(r.resume_positions),
+            "bookmarks": {k: list(v) for k, v in r.bookmarks.items()},
+            "scores": dict(r.scores)}
+
+
+def _student_from_value(v: Dict[str, Any]) -> StudentRecord:
+    return StudentRecord(
+        student_number=v["student_number"], name=v["name"],
+        address=v.get("address", ""), email=v.get("email", ""),
+        registered_courses=list(v.get("registered_courses", [])),
+        resume_positions={k: float(p) for k, p in
+                          v.get("resume_positions", {}).items()},
+        bookmarks={k: list(m) for k, m in v.get("bookmarks", {}).items()},
+        scores={k: float(s) for k, s in v.get("scores", {}).items()})
+
+
+def _library_to_value(r: LibraryDocument) -> Dict[str, Any]:
+    return {"doc_id": r.doc_id, "title": r.title,
+            "media_kind": r.media_kind, "content_ref": r.content_ref,
+            "keywords": list(r.keywords)}
+
+
+def _library_from_value(v: Dict[str, Any]) -> LibraryDocument:
+    return LibraryDocument(doc_id=v["doc_id"], title=v["title"],
+                           media_kind=v["media_kind"],
+                           content_ref=v["content_ref"],
+                           keywords=list(v.get("keywords", [])))
+
+
+def snapshot(db: CoursewareDatabase) -> bytes:
+    """Serialise the whole database to bytes."""
+    payload = {
+        "courseware": [_courseware_to_value(r)
+                       for _, r in db.store.items(COURSEWARE)],
+        "content": [_content_to_value(r)
+                    for _, r in db.store.items(CONTENT_COLLECTION)],
+        "courses": [_course_to_value(r) for _, r in db.store.items(COURSES)],
+        "students": [_student_to_value(r)
+                     for _, r in db.store.items(STUDENTS)],
+        "library": [_library_to_value(r)
+                    for _, r in db.store.items(LIBRARY)],
+    }
+    body = dump_value(payload)
+    return _MAGIC + struct.pack(">I", len(body)) + body
+
+
+def restore(data: bytes) -> CoursewareDatabase:
+    """Rebuild a database (records + indexes) from a snapshot."""
+    if data[:4] != _MAGIC:
+        raise DatabaseError("not a MITS database snapshot")
+    (length,) = struct.unpack_from(">I", data, 4)
+    body = data[8:]
+    if len(body) != length:
+        raise DatabaseError("truncated database snapshot")
+    payload = load_value(body)
+
+    db = CoursewareDatabase()
+    # content must land before courseware/library (integrity checks)
+    for v in payload.get("content", []):
+        db.store_content(_content_from_value(v))
+    for v in payload.get("courseware", []):
+        # store_courseware only bumps versions over an existing record,
+        # so snapshot versions round-trip unchanged on a fresh database
+        db.store_courseware(_courseware_from_value(v))
+    for v in payload.get("courses", []):
+        db.add_course(_course_from_value(v))
+    for v in payload.get("library", []):
+        db.add_library_document(_library_from_value(v))
+    highest = 999
+    for v in payload.get("students", []):
+        student = _student_from_value(v)
+        db.store.put("students", student.student_number, student)
+        digits = student.student_number.lstrip("S")
+        if digits.isdigit():
+            highest = max(highest, int(digits))
+    # continue numbering after the highest restored student
+    import itertools
+    db._student_numbers = itertools.count(highest + 1)
+    return db

@@ -1,0 +1,101 @@
+"""Records held by the courseware database.
+
+These mirror the data the prototype kept: courseware (MHEG containers
+plus catalogue metadata), content objects referenced by courseware,
+students and their course registrations (the CStudent / CCourse
+classes of §5.3.3), courses on offer per program, and library
+documents for browsing (§5.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class CoursewareRecord:
+    """One authored courseware: the interchange blob + catalogue data."""
+
+    courseware_id: str
+    title: str
+    program: str
+    #: encoded MHEG container (form a) ready for interchange
+    container_blob: bytes
+    keywords: List[str] = field(default_factory=list)
+    #: id of the course introduction video in the content store
+    introduction_ref: Optional[str] = None
+    author: str = ""
+    version: int = 1
+
+    def summary(self) -> Dict[str, Any]:
+        return {"courseware_id": self.courseware_id, "title": self.title,
+                "program": self.program, "keywords": list(self.keywords),
+                "size": len(self.container_blob), "author": self.author,
+                "version": self.version,
+                "introduction_ref": self.introduction_ref}
+
+
+@dataclass
+class ContentRecord:
+    """One stored media object, addressed by content_ref."""
+
+    content_ref: str
+    media_kind: str        # video / audio / image / text / midi
+    coding_method: str
+    data: bytes
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+@dataclass
+class CourseRecord:
+    """A course on offer (what registration lists per program)."""
+
+    course_code: str
+    name: str
+    program: str
+    courseware_id: str
+    sessions_planned: int = 13
+    description: str = ""
+
+
+@dataclass
+class StudentRecord:
+    """The CStudent data: identity, profile, and registrations."""
+
+    student_number: str
+    name: str
+    address: str = ""
+    email: str = ""
+    #: course codes the student registered for
+    registered_courses: List[str] = field(default_factory=list)
+    #: courseware_id -> resume position (seconds into the presentation)
+    resume_positions: Dict[str, float] = field(default_factory=dict)
+    #: courseware_id -> list of bookmarked object references
+    bookmarks: Dict[str, List[str]] = field(default_factory=dict)
+    #: exercise scores: exercise id -> score
+    scores: Dict[str, float] = field(default_factory=dict)
+
+    def profile(self) -> Dict[str, Any]:
+        return {"student_number": self.student_number, "name": self.name,
+                "address": self.address, "email": self.email,
+                "registered_courses": list(self.registered_courses)}
+
+    def find_number_of_course(self) -> int:
+        """The thesis's FindNumberOfCourse() member function."""
+        return len(self.registered_courses)
+
+
+@dataclass
+class LibraryDocument:
+    """A browsable document in the digital library (§5.2.1)."""
+
+    doc_id: str
+    title: str
+    media_kind: str
+    content_ref: str
+    keywords: List[str] = field(default_factory=list)

@@ -1,0 +1,75 @@
+"""HyTime modules and their inter-dependencies (Fig 2.1).
+
+"HyTime is designed to be used modularly.  There is one required
+module and a number of interdependent optional modules...  Every
+HyTime document states what modules and options are needed for its
+processing."
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, Iterable, List, Set
+
+from repro.util.errors import DecodingError
+
+
+class HyTimeModule(enum.Enum):
+    BASE = "base"
+    MEASUREMENT = "measurement"
+    LOCATION = "location"        # location address module
+    HYPERLINKS = "hyperlinks"
+    SCHEDULING = "scheduling"
+    RENDITION = "rendition"
+
+
+#: module -> modules it requires (Fig 2.1)
+MODULE_DEPENDENCIES: Dict[HyTimeModule, FrozenSet[HyTimeModule]] = {
+    HyTimeModule.BASE: frozenset(),
+    HyTimeModule.MEASUREMENT: frozenset({HyTimeModule.BASE}),
+    HyTimeModule.LOCATION: frozenset({HyTimeModule.BASE}),
+    HyTimeModule.HYPERLINKS: frozenset({HyTimeModule.BASE,
+                                        HyTimeModule.LOCATION}),
+    HyTimeModule.SCHEDULING: frozenset({HyTimeModule.BASE,
+                                        HyTimeModule.MEASUREMENT}),
+    HyTimeModule.RENDITION: frozenset({HyTimeModule.BASE,
+                                       HyTimeModule.MEASUREMENT,
+                                       HyTimeModule.SCHEDULING}),
+}
+
+
+def dependency_closure(modules: Iterable[HyTimeModule]) -> Set[HyTimeModule]:
+    """All modules needed to support *modules* (including themselves
+    and the always-required base module)."""
+    needed: Set[HyTimeModule] = {HyTimeModule.BASE}
+    frontier = list(modules)
+    while frontier:
+        mod = frontier.pop()
+        if mod in needed:
+            continue
+        needed.add(mod)
+        frontier.extend(MODULE_DEPENDENCIES[mod])
+    return needed
+
+
+def validate_modules(declared: Iterable[HyTimeModule]) -> None:
+    """Check a document's declared module set is dependency-complete."""
+    declared_set = set(declared)
+    if HyTimeModule.BASE not in declared_set:
+        raise DecodingError("the base module is required by all documents")
+    for mod in declared_set:
+        missing = MODULE_DEPENDENCIES[mod] - declared_set
+        if missing:
+            names = ", ".join(sorted(m.value for m in missing))
+            raise DecodingError(
+                f"module {mod.value!r} requires undeclared module(s): {names}")
+
+
+def parse_module_names(names: Iterable[str]) -> List[HyTimeModule]:
+    out = []
+    for name in names:
+        try:
+            out.append(HyTimeModule(name))
+        except ValueError as exc:
+            raise DecodingError(f"unknown HyTime module {name!r}") from exc
+    return out

@@ -1,0 +1,83 @@
+"""MHEG (ISO/IEC 13522-1) implementation — the paper's core contribution.
+
+MITS interchanges courseware as MHEG objects: self-contained,
+reusable units of multimedia/hypermedia information encoded in ASN.1
+for transfer between heterogeneous sites.  This subpackage implements:
+
+* :mod:`repro.mheg.asn1` — a from-scratch ASN.1 BER encoder/decoder
+  (the interchange syntax, §2.2.2 / Fig 2.9);
+* :mod:`repro.mheg.identifiers` — MHEG object identification;
+* :mod:`repro.mheg.classes` — the eight standard classes plus the
+  extended class library of Fig 4.5 (content tree, action tree);
+* :mod:`repro.mheg.codec` — MHEG object ⇄ ASN.1 (and an SGML-like
+  textual notation, the standard's alternative output format);
+* :mod:`repro.mheg.runtime` — form (c) run-time objects, channels and
+  sockets (Fig 2.4);
+* :mod:`repro.mheg.engine` — the MHEG engine: decode, prepare,
+  instantiate, interpret links/actions, drive presentations;
+* :mod:`repro.mheg.sync` — the four spatial-temporal synchronisation
+  mechanisms (atomic, elementary, cyclic, chained) and conditional
+  synchronisation (Fig 2.6, §2.2.2.3).
+"""
+
+from repro.mheg.identifiers import MhegIdentifier, ObjectReference
+from repro.mheg.classes import (
+    ClassId,
+    MhObject,
+    ContentClass,
+    VideoContentClass,
+    AudioContentClass,
+    ImageContentClass,
+    TextContentClass,
+    GraphicsContentClass,
+    NonMediaDataClass,
+    MultiplexedContentClass,
+    GenericValueClass,
+    CompositeClass,
+    LinkClass,
+    LinkCondition,
+    ActionClass,
+    ElementaryAction,
+    ActionVerb,
+    ScriptClass,
+    ContainerClass,
+    DescriptorClass,
+    Socket,
+    SocketKind,
+)
+from repro.mheg.codec import MhegCodec
+from repro.mheg.engine import MhegEngine, EngineEvent
+from repro.mheg.runtime import RtObject, RtState, Channel
+
+__all__ = [
+    "MhegIdentifier",
+    "ObjectReference",
+    "ClassId",
+    "MhObject",
+    "ContentClass",
+    "VideoContentClass",
+    "AudioContentClass",
+    "ImageContentClass",
+    "TextContentClass",
+    "GraphicsContentClass",
+    "NonMediaDataClass",
+    "MultiplexedContentClass",
+    "GenericValueClass",
+    "CompositeClass",
+    "LinkClass",
+    "LinkCondition",
+    "ActionClass",
+    "ElementaryAction",
+    "ActionVerb",
+    "ScriptClass",
+    "ContainerClass",
+    "DescriptorClass",
+    "Socket",
+    "SocketKind",
+    "MhegCodec",
+    "MhegEngine",
+    "EngineEvent",
+    "RtObject",
+    "RtState",
+    "Channel",
+]

@@ -1,0 +1,499 @@
+"""ASN.1 Basic Encoding Rules, from scratch.
+
+MHEG part 1 specifies ASN.1 as the primary interchange notation.  This
+module implements the subset of BER the codec needs, honestly:
+
+* identifier octets with class bits, constructed bit, and high tag
+  numbers (> 30) in base-128 continuation form;
+* definite lengths in short and long form;
+* universal types BOOLEAN, INTEGER, OCTET STRING, NULL, REAL (ISO 6093
+  NR3 character form), UTF8String, SEQUENCE;
+* arbitrary application/context-specific constructed types, which the
+  MHEG codec uses to tag classes and attributes.
+
+On top of the raw TLV layer, :func:`encode_value` / :func:`decode_value`
+map plain Python values (None, bool, int, float, str, bytes, list,
+str-keyed dict) to self-describing BER, which is what MHEG attribute
+bodies use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Tuple
+
+from repro.util.errors import DecodingError, EncodingError
+
+# tag classes
+UNIVERSAL = 0
+APPLICATION = 1
+CONTEXT = 2
+PRIVATE = 3
+
+# universal tag numbers used here
+TAG_BOOLEAN = 1
+TAG_INTEGER = 2
+TAG_OCTET_STRING = 4
+TAG_NULL = 5
+TAG_REAL = 9
+TAG_UTF8STRING = 12
+TAG_SEQUENCE = 16
+
+
+@dataclass(slots=True)
+class Tlv:
+    """One decoded BER element."""
+
+    tag_class: int
+    number: int
+    constructed: bool
+    content: bytes = b""                      # primitive content
+    children: List["Tlv"] = field(default_factory=list)  # constructed
+
+    def child(self, index: int) -> "Tlv":
+        try:
+            return self.children[index]
+        except IndexError as exc:
+            raise DecodingError(
+                f"BER element missing child {index}") from exc
+
+
+# -- identifier and length octets ------------------------------------------
+
+def _encode_identifier(tag_class: int, number: int, constructed: bool) -> bytes:
+    if not 0 <= tag_class <= 3:
+        raise EncodingError(f"bad tag class {tag_class}")
+    if number < 0:
+        raise EncodingError(f"bad tag number {number}")
+    first = (tag_class << 6) | (0x20 if constructed else 0)
+    if number < 31:
+        return bytes([first | number])
+    # high tag number: 0x1F then base-128, MSB-first, high bit = continue
+    out = [first | 0x1F]
+    septets = []
+    n = number
+    while True:
+        septets.append(n & 0x7F)
+        n >>= 7
+        if n == 0:
+            break
+    for i, sep in enumerate(reversed(septets)):
+        out.append(sep | (0x80 if i < len(septets) - 1 else 0))
+    return bytes(out)
+
+
+def _encode_length(length: int) -> bytes:
+    if length < 0x80:
+        return bytes([length])
+    raw = length.to_bytes((length.bit_length() + 7) // 8, "big")
+    if len(raw) > 126:
+        raise EncodingError("BER length too large")
+    return bytes([0x80 | len(raw)]) + raw
+
+
+def _decode_identifier(data: bytes, pos: int) -> Tuple[int, int, bool, int]:
+    if pos >= len(data):
+        raise DecodingError("truncated BER identifier")
+    first = data[pos]
+    pos += 1
+    tag_class = first >> 6
+    constructed = bool(first & 0x20)
+    number = first & 0x1F
+    if number == 0x1F:
+        number = 0
+        while True:
+            if pos >= len(data):
+                raise DecodingError("truncated high tag number")
+            octet = data[pos]
+            pos += 1
+            number = (number << 7) | (octet & 0x7F)
+            if not octet & 0x80:
+                break
+            if number > 2**28:
+                raise DecodingError("tag number unreasonably large")
+    return tag_class, number, constructed, pos
+
+
+def _decode_length(data: bytes, pos: int) -> Tuple[int, int]:
+    if pos >= len(data):
+        raise DecodingError("truncated BER length")
+    first = data[pos]
+    pos += 1
+    if first < 0x80:
+        return first, pos
+    nbytes = first & 0x7F
+    if nbytes == 0:
+        raise DecodingError("indefinite lengths are not supported")
+    if pos + nbytes > len(data):
+        raise DecodingError("truncated long-form length")
+    return int.from_bytes(data[pos:pos + nbytes], "big"), pos + nbytes
+
+
+# -- TLV layer --------------------------------------------------------------
+
+def encode_tlv(tlv: Tlv) -> bytes:
+    if tlv.constructed:
+        content = b"".join(encode_tlv(c) for c in tlv.children)
+    else:
+        content = tlv.content
+    return (_encode_identifier(tlv.tag_class, tlv.number, tlv.constructed)
+            + _encode_length(len(content)) + content)
+
+
+def decode_tlv(data: bytes, pos: int = 0) -> Tuple[Tlv, int]:
+    # hand-inlined identifier/length fast paths: this is the hot loop of
+    # every MHEG interchange (hundreds of elements per object graph)
+    try:
+        first = data[pos]
+    except IndexError:
+        raise DecodingError("truncated BER identifier") from None
+    pos += 1
+    tag_class = first >> 6
+    constructed = bool(first & 0x20)
+    number = first & 0x1F
+    if number == 0x1F:
+        number = 0
+        while True:
+            if pos >= len(data):
+                raise DecodingError("truncated high tag number")
+            octet = data[pos]
+            pos += 1
+            number = (number << 7) | (octet & 0x7F)
+            if not octet & 0x80:
+                break
+            if number > 2**28:
+                raise DecodingError("tag number unreasonably large")
+    try:
+        lbyte = data[pos]
+    except IndexError:
+        raise DecodingError("truncated BER length") from None
+    pos += 1
+    if lbyte < 0x80:
+        length = lbyte
+    else:
+        nbytes = lbyte & 0x7F
+        if nbytes == 0:
+            raise DecodingError("indefinite lengths are not supported")
+        if pos + nbytes > len(data):
+            raise DecodingError("truncated long-form length")
+        length = int.from_bytes(data[pos:pos + nbytes], "big")
+        pos += nbytes
+    end = pos + length
+    if end > len(data):
+        raise DecodingError(
+            f"BER content truncated: need {length} bytes, have {len(data) - pos}")
+    if constructed:
+        children = []
+        append = children.append
+        while pos < end:
+            child, pos = decode_tlv(data, pos)
+            append(child)
+        if pos != end:
+            raise DecodingError("constructed content overruns its length")
+        return Tlv(tag_class, number, True, b"", children), end
+    return Tlv(tag_class, number, False, data[pos:end], []), end
+
+
+def decode_tlv_exact(data: bytes) -> Tlv:
+    """Decode one element and require it to span the whole buffer."""
+    tlv, end = decode_tlv(data, 0)
+    if end != len(data):
+        raise DecodingError(f"{len(data) - end} trailing bytes after BER element")
+    return tlv
+
+
+# -- primitive constructors ---------------------------------------------------
+
+def ber_boolean(value: bool) -> Tlv:
+    return Tlv(UNIVERSAL, TAG_BOOLEAN, False,
+               content=b"\xff" if value else b"\x00")
+
+
+def ber_integer(value: int) -> Tlv:
+    n = max(1, (value.bit_length() + 8) // 8)
+    return Tlv(UNIVERSAL, TAG_INTEGER, False,
+               content=value.to_bytes(n, "big", signed=True))
+
+
+def ber_octets(value: bytes) -> Tlv:
+    return Tlv(UNIVERSAL, TAG_OCTET_STRING, False, content=bytes(value))
+
+
+def ber_null() -> Tlv:
+    return Tlv(UNIVERSAL, TAG_NULL, False)
+
+
+def ber_real(value: float) -> Tlv:
+    # ISO 6093 NR3 character representation (BER base-10 form 3)
+    text = repr(float(value)).encode("ascii")
+    return Tlv(UNIVERSAL, TAG_REAL, False, content=b"\x03" + text)
+
+
+def ber_utf8(value: str) -> Tlv:
+    return Tlv(UNIVERSAL, TAG_UTF8STRING, False,
+               content=value.encode("utf-8"))
+
+
+def ber_sequence(children: List[Tlv]) -> Tlv:
+    return Tlv(UNIVERSAL, TAG_SEQUENCE, True, children=list(children))
+
+
+def context(number: int, children: List[Tlv]) -> Tlv:
+    """Constructed context-specific element (attribute tagging)."""
+    return Tlv(CONTEXT, number, True, children=list(children))
+
+
+def application(number: int, children: List[Tlv]) -> Tlv:
+    """Constructed application-class element (MHEG class tagging)."""
+    return Tlv(APPLICATION, number, True, children=list(children))
+
+
+# -- primitive readers ----------------------------------------------------------
+
+def read_boolean(tlv: Tlv) -> bool:
+    _expect(tlv, TAG_BOOLEAN)
+    if len(tlv.content) != 1:
+        raise DecodingError("BOOLEAN must be one octet")
+    return tlv.content != b"\x00"
+
+
+def read_integer(tlv: Tlv) -> int:
+    _expect(tlv, TAG_INTEGER)
+    if not tlv.content:
+        raise DecodingError("INTEGER with empty content")
+    return int.from_bytes(tlv.content, "big", signed=True)
+
+
+def read_octets(tlv: Tlv) -> bytes:
+    _expect(tlv, TAG_OCTET_STRING)
+    return tlv.content
+
+
+def read_real(tlv: Tlv) -> float:
+    _expect(tlv, TAG_REAL)
+    if not tlv.content:
+        return 0.0
+    if tlv.content[0] != 0x03:
+        raise DecodingError("only NR3 character-form REAL is supported")
+    try:
+        return float(tlv.content[1:].decode("ascii"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise DecodingError(f"malformed REAL: {exc}") from exc
+
+
+def read_utf8(tlv: Tlv) -> str:
+    _expect(tlv, TAG_UTF8STRING)
+    try:
+        return tlv.content.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise DecodingError(f"invalid utf-8 in UTF8String: {exc}") from exc
+
+
+def _expect(tlv: Tlv, number: int) -> None:
+    if tlv.tag_class != UNIVERSAL or tlv.number != number:
+        raise DecodingError(
+            f"expected universal tag {number}, got class {tlv.tag_class} "
+            f"tag {tlv.number}")
+
+
+# -- generic python-value mapping --------------------------------------------
+# dicts encode as SEQUENCE of SEQUENCE { UTF8String key, value } so key
+# order round-trips; a context[0] marker distinguishes dict from list.
+
+_MAX_DEPTH = 32
+
+
+def value_to_tlv(value: Any, depth: int = 0) -> Tlv:
+    if depth > _MAX_DEPTH:
+        raise EncodingError("value nests too deeply for BER encoding")
+    if value is None:
+        return ber_null()
+    if value is True or value is False:
+        return ber_boolean(value)
+    if isinstance(value, int):
+        return ber_integer(value)
+    if isinstance(value, float):
+        return ber_real(value)
+    if isinstance(value, str):
+        return ber_utf8(value)
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return ber_octets(bytes(value))
+    if isinstance(value, (list, tuple)):
+        return ber_sequence([value_to_tlv(v, depth + 1) for v in value])
+    if isinstance(value, dict):
+        # alternating key/value children (no per-entry wrapper): dict
+        # entries dominate MHEG object graphs, so the flat layout
+        # roughly halves the element count on the wire
+        entries = []
+        for k, v in value.items():
+            if not isinstance(k, str):
+                raise EncodingError("dict keys must be str for BER encoding")
+            entries.append(ber_utf8(k))
+            entries.append(value_to_tlv(v, depth + 1))
+        return context(0, entries)
+    raise EncodingError(f"cannot BER-encode {type(value).__name__}")
+
+
+def tlv_to_value(tlv: Tlv, depth: int = 0) -> Any:
+    # hot path of every interchange: primitive cases are inlined
+    if depth > _MAX_DEPTH:
+        raise DecodingError("BER value nests too deeply")
+    tag_class = tlv.tag_class
+    number = tlv.number
+    if tag_class == UNIVERSAL:
+        if number == TAG_UTF8STRING:
+            try:
+                return tlv.content.decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise DecodingError(
+                    f"invalid utf-8 in UTF8String: {exc}") from exc
+        if number == TAG_INTEGER:
+            if not tlv.content:
+                raise DecodingError("INTEGER with empty content")
+            return int.from_bytes(tlv.content, "big", signed=True)
+        if number == TAG_OCTET_STRING:
+            return tlv.content
+        if number == TAG_NULL:
+            return None
+        if number == TAG_BOOLEAN:
+            if len(tlv.content) != 1:
+                raise DecodingError("BOOLEAN must be one octet")
+            return tlv.content != b"\x00"
+        if number == TAG_REAL:
+            return read_real(tlv)
+        if number == TAG_SEQUENCE:
+            return [tlv_to_value(c, depth + 1) for c in tlv.children]
+        raise DecodingError(f"unsupported universal tag {number}")
+    if tag_class == CONTEXT and number == 0:
+        children = tlv.children
+        if len(children) % 2:
+            raise DecodingError("malformed dict: odd child count")
+        result = {}
+        next_depth = depth + 1
+        for i in range(0, len(children), 2):
+            key_tlv = children[i]
+            if key_tlv.tag_class != UNIVERSAL or \
+                    key_tlv.number != TAG_UTF8STRING:
+                raise DecodingError("dict key is not a UTF8String")
+            try:
+                key = key_tlv.content.decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise DecodingError(f"invalid utf-8 in key: {exc}") from exc
+            result[key] = tlv_to_value(children[i + 1], next_depth)
+        return result
+    raise DecodingError(
+        f"unexpected tag class {tag_class} in value position")
+
+
+def encode_value(value: Any) -> bytes:
+    """Encode a Python value as self-describing BER bytes."""
+    return encode_tlv(value_to_tlv(value))
+
+
+def decode_value(data: bytes) -> Any:
+    """Inverse of :func:`encode_value`."""
+    value, end = parse_value(data, 0, 0)
+    if end != len(data):
+        raise DecodingError(f"{len(data) - end} trailing bytes after value")
+    return value
+
+
+def parse_value(data: bytes, pos: int, depth: int = 0) -> Tuple[Any, int]:
+    """One-pass BER -> Python value parser (no intermediate TLV tree).
+
+    Semantically identical to ``tlv_to_value(decode_tlv(...))`` for the
+    value subset, but ~2x faster — this is the path every MHEG object
+    decode takes, so it is deliberately hand-tuned.
+    """
+    if depth > _MAX_DEPTH:
+        raise DecodingError("BER value nests too deeply")
+    try:
+        first = data[pos]
+    except IndexError:
+        raise DecodingError("truncated BER identifier") from None
+    pos += 1
+    tag_class = first >> 6
+    number = first & 0x1F
+    if number == 0x1F:
+        number = 0
+        while True:
+            if pos >= len(data):
+                raise DecodingError("truncated high tag number")
+            octet = data[pos]
+            pos += 1
+            number = (number << 7) | (octet & 0x7F)
+            if not octet & 0x80:
+                break
+    try:
+        lbyte = data[pos]
+    except IndexError:
+        raise DecodingError("truncated BER length") from None
+    pos += 1
+    if lbyte < 0x80:
+        length = lbyte
+    else:
+        nbytes = lbyte & 0x7F
+        if nbytes == 0:
+            raise DecodingError("indefinite lengths are not supported")
+        if pos + nbytes > len(data):
+            raise DecodingError("truncated long-form length")
+        length = int.from_bytes(data[pos:pos + nbytes], "big")
+        pos += nbytes
+    end = pos + length
+    if end > len(data):
+        raise DecodingError("BER content truncated")
+
+    if tag_class == UNIVERSAL:
+        if number == TAG_UTF8STRING:
+            try:
+                return data[pos:end].decode("utf-8"), end
+            except UnicodeDecodeError as exc:
+                raise DecodingError(
+                    f"invalid utf-8 in UTF8String: {exc}") from exc
+        if number == TAG_INTEGER:
+            if pos == end:
+                raise DecodingError("INTEGER with empty content")
+            return int.from_bytes(data[pos:end], "big", signed=True), end
+        if number == TAG_OCTET_STRING:
+            return data[pos:end], end
+        if number == TAG_NULL:
+            return None, end
+        if number == TAG_BOOLEAN:
+            if end - pos != 1:
+                raise DecodingError("BOOLEAN must be one octet")
+            return data[pos] != 0, end
+        if number == TAG_REAL:
+            if pos == end:
+                return 0.0, end
+            if data[pos] != 0x03:
+                raise DecodingError(
+                    "only NR3 character-form REAL is supported")
+            try:
+                return float(data[pos + 1:end].decode("ascii")), end
+            except (UnicodeDecodeError, ValueError) as exc:
+                raise DecodingError(f"malformed REAL: {exc}") from exc
+        if number == TAG_SEQUENCE:
+            items = []
+            append = items.append
+            while pos < end:
+                item, pos = parse_value(data, pos, depth + 1)
+                append(item)
+            if pos != end:
+                raise DecodingError("SEQUENCE overruns its length")
+            return items, end
+        raise DecodingError(f"unsupported universal tag {number}")
+    if tag_class == CONTEXT and number == 0:
+        result = {}
+        while pos < end:
+            key, pos = parse_value(data, pos, depth + 1)
+            if not isinstance(key, str):
+                raise DecodingError("dict key is not a UTF8String")
+            if pos >= end:
+                raise DecodingError("malformed dict: odd child count")
+            value, pos = parse_value(data, pos, depth + 1)
+            result[key] = value
+        if pos != end:
+            raise DecodingError("dict overruns its length")
+        return result, end
+    raise DecodingError(
+        f"unexpected tag class {tag_class} in value position")

@@ -1,0 +1,60 @@
+"""The MHEG class library (Fig 4.5).
+
+Eight standard classes (ISO/IEC 13522-1 §16-27, as summarised in the
+thesis §2.2.2.1) plus the extension subclasses of Fig 4.5b/c: the
+content tree (media / non-media / generic value), and typed action
+verbs grouped by the standard's seven behaviour families.
+"""
+
+from repro.mheg.classes.base import ClassId, MhObject, ObjectInfo, register_class, class_registry
+from repro.mheg.classes.content import (
+    ContentClass,
+    VideoContentClass,
+    AudioContentClass,
+    ImageContentClass,
+    TextContentClass,
+    GraphicsContentClass,
+    NonMediaDataClass,
+    GenericValueClass,
+    MultiplexedContentClass,
+    StreamDescription,
+)
+from repro.mheg.classes.composite import CompositeClass, Socket, SocketKind
+from repro.mheg.classes.behavior import (
+    ActionClass,
+    ActionVerb,
+    ElementaryAction,
+    LinkClass,
+    LinkCondition,
+)
+from repro.mheg.classes.interchange import ContainerClass, DescriptorClass
+from repro.mheg.classes.script import ScriptClass
+
+__all__ = [
+    "ClassId",
+    "MhObject",
+    "ObjectInfo",
+    "register_class",
+    "class_registry",
+    "ContentClass",
+    "VideoContentClass",
+    "AudioContentClass",
+    "ImageContentClass",
+    "TextContentClass",
+    "GraphicsContentClass",
+    "NonMediaDataClass",
+    "GenericValueClass",
+    "MultiplexedContentClass",
+    "StreamDescription",
+    "CompositeClass",
+    "Socket",
+    "SocketKind",
+    "ActionClass",
+    "ActionVerb",
+    "ElementaryAction",
+    "LinkClass",
+    "LinkCondition",
+    "ContainerClass",
+    "DescriptorClass",
+    "ScriptClass",
+]

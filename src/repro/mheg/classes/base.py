@@ -1,0 +1,172 @@
+"""MhObject base class and registry.
+
+Common attributes per the standard: identification of the standard
+("19" stands for MHEG), class of the object, the MHEG identifier, and
+general object information (name, owner, version, date, keywords...).
+
+Serialisation is declarative: each concrete class lists the dataclass
+fields to interchange in ``FIELDS``; the codec walks them.  The
+registry maps interchange type names back to classes on decode.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Dict, List, Optional, Tuple, Type
+
+from repro.mheg.identifiers import MhegIdentifier
+from repro.util.errors import EncodingError
+
+#: "The standard identifier attribute '19' which stands for 'MHEG'"
+MHEG_STANDARD_ID = 19
+MHEG_VERSION = 1
+
+
+class ClassId(enum.IntEnum):
+    """The eight interchanged classes (plus the generic-value extension)."""
+
+    CONTENT = 1
+    MULTIPLEXED_CONTENT = 2
+    COMPOSITE = 3
+    LINK = 4
+    ACTION = 5
+    SCRIPT = 6
+    DESCRIPTOR = 7
+    CONTAINER = 8
+
+
+@dataclass
+class ObjectInfo:
+    """General object information shared by every MHEG object."""
+
+    name: str = ""
+    owner: str = ""
+    version: str = "1"
+    date: str = ""
+    keywords: List[str] = field(default_factory=list)
+    copyright: str = ""
+    comment: str = ""
+
+    def to_value(self) -> Dict[str, Any]:
+        """Interchange form; default-valued attributes are omitted to
+        keep the wire form compact."""
+        out: Dict[str, Any] = {}
+        if self.name:
+            out["name"] = self.name
+        if self.owner:
+            out["owner"] = self.owner
+        if self.version != "1":
+            out["version"] = self.version
+        if self.date:
+            out["date"] = self.date
+        if self.keywords:
+            out["keywords"] = list(self.keywords)
+        if self.copyright:
+            out["copyright"] = self.copyright
+        if self.comment:
+            out["comment"] = self.comment
+        return out
+
+    @classmethod
+    def from_value(cls, value: Dict[str, Any]) -> "ObjectInfo":
+        return cls(name=value.get("name", ""), owner=value.get("owner", ""),
+                   version=value.get("version", "1"),
+                   date=value.get("date", ""),
+                   keywords=list(value.get("keywords", [])),
+                   copyright=value.get("copyright", ""),
+                   comment=value.get("comment", ""))
+
+
+#: interchange type name -> concrete class
+_REGISTRY: Dict[str, Type["MhObject"]] = {}
+
+
+def register_class(cls: Type["MhObject"]) -> Type["MhObject"]:
+    """Class decorator recording a concrete MHEG class for decoding."""
+    name = cls.type_name()
+    if name in _REGISTRY and _REGISTRY[name] is not cls:
+        raise EncodingError(f"duplicate MHEG type name {name!r}")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def class_registry() -> Dict[str, Type["MhObject"]]:
+    return dict(_REGISTRY)
+
+
+def lookup_class(type_name: str) -> Type["MhObject"]:
+    try:
+        return _REGISTRY[type_name]
+    except KeyError as exc:
+        raise EncodingError(f"unknown MHEG type name {type_name!r}") from exc
+
+
+@dataclass
+class MhObject:
+    """Base of every interchanged MHEG object."""
+
+    identifier: MhegIdentifier
+    info: ObjectInfo = field(default_factory=ObjectInfo)
+
+    #: subclasses set their standard class
+    CLASS_ID: ClassVar[ClassId]
+    #: dataclass field names included in interchange, beyond the base two
+    FIELDS: ClassVar[Tuple[str, ...]] = ()
+
+    @classmethod
+    def type_name(cls) -> str:
+        return cls.__name__
+
+    @property
+    def class_id(self) -> ClassId:
+        return self.CLASS_ID
+
+    @property
+    def standard_id(self) -> int:
+        return MHEG_STANDARD_ID
+
+    _FIELD_DEFAULTS: ClassVar[Optional[Dict[str, Any]]] = None
+
+    @classmethod
+    def _field_defaults(cls) -> Dict[str, Any]:
+        """Default value per interchanged field (factories invoked)."""
+        if cls.__dict__.get("_FIELD_DEFAULTS") is None:
+            import dataclasses
+            defaults: Dict[str, Any] = {}
+            for f in dataclasses.fields(cls):
+                if f.name not in cls.FIELDS:
+                    continue
+                if f.default is not dataclasses.MISSING:
+                    defaults[f.name] = f.default
+                elif f.default_factory is not dataclasses.MISSING:
+                    defaults[f.name] = f.default_factory()
+            cls._FIELD_DEFAULTS = defaults
+        return cls._FIELD_DEFAULTS
+
+    def interchange_fields(self) -> Dict[str, Any]:
+        """Field-name -> raw attribute value, in declared order.
+
+        Fields still holding their default value are omitted; the
+        decoder reinstates defaults for absent fields, so round-trips
+        are exact while the wire form stays compact.
+        """
+        defaults = self._field_defaults()
+        out = {}
+        for name in self.FIELDS:
+            value = getattr(self, name)
+            if name in defaults and value == defaults[name]:
+                continue
+            out[name] = value
+        return out
+
+    def validate(self) -> None:
+        """Subclass hook: raise on structurally invalid objects.
+
+        Called by the codec before encoding and after decoding so that
+        malformed objects never cross an interchange boundary.
+        """
+
+    def __str__(self) -> str:
+        label = self.info.name or "(unnamed)"
+        return f"<{self.type_name()} {self.identifier} {label!r}>"

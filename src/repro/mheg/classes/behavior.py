@@ -1,0 +1,230 @@
+"""Link and action classes — synchronisation and interaction (§2.2.2.1).
+
+A link specifies relationships between "sources" and "targets": when
+its trigger conditions fire (the engine detects a status change) and
+its additional conditions hold, the associated action object is
+applied to the targets.  Actions are synchronisation sets of
+elementary actions drawn from the standard's behaviour families
+(Fig 4.5c): preparation, creation, presentation, rendition,
+interaction, activation, and getting value.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Dict, List, Optional, Tuple
+
+from repro.mheg.classes.base import ClassId, MhObject, register_class
+from repro.mheg.identifiers import ObjectReference
+from repro.util.errors import EncodingError
+
+
+class ActionVerb(enum.Enum):
+    """Elementary actions grouped by the Fig 4.5c families."""
+
+    # preparation: availability of the object in the system
+    PREPARE = "prepare"
+    DESTROY = "destroy"
+    # creation: build run-time instances from model objects
+    NEW = "new"
+    DELETE = "delete"
+    # presentation: progress of presentation instances
+    RUN = "run"
+    STOP = "stop"
+    PAUSE = "pause"
+    RESUME = "resume"
+    # rendition: prepare rendition according to media type
+    SET_POSITION = "set_position"
+    SET_SIZE = "set_size"
+    SET_SPEED = "set_speed"
+    SET_VOLUME = "set_volume"
+    # interaction: results of interaction between instance and system
+    SET_SELECTABLE = "set_selectable"
+    SELECT = "select"
+    # activation: script instances
+    ACTIVATE = "activate"
+    DEACTIVATE = "deactivate"
+    # getting value: attributes / status / behaviour values
+    GET_STATUS = "get_status"
+    SET_VALUE = "set_value"
+    GET_VALUE = "get_value"
+
+
+#: verbs meaningful only on run-time (form c) objects
+RUNTIME_VERBS = frozenset({
+    ActionVerb.RUN, ActionVerb.STOP, ActionVerb.PAUSE, ActionVerb.RESUME,
+    ActionVerb.SET_POSITION, ActionVerb.SET_SIZE, ActionVerb.SET_SPEED,
+    ActionVerb.SET_VOLUME, ActionVerb.SET_SELECTABLE, ActionVerb.SELECT,
+    ActionVerb.ACTIVATE, ActionVerb.DEACTIVATE, ActionVerb.DELETE,
+})
+
+
+@dataclass
+class ElementaryAction:
+    """One verb applied to one target, optionally after a delay.
+
+    The delay realises the standard's "synchronization set": actions
+    in one action object may be offset in time relative to the moment
+    the action object executes.
+    """
+
+    verb: ActionVerb
+    target: ObjectReference
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError("elementary action delay must be >= 0")
+
+    def to_value(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"verb": self.verb.value,
+                               "target": str(self.target)}
+        if self.parameters:
+            out["parameters"] = dict(self.parameters)
+        if self.delay:
+            out["delay"] = self.delay
+        return out
+
+    @classmethod
+    def from_value(cls, value: Dict[str, Any]) -> "ElementaryAction":
+        return cls(verb=ActionVerb(value["verb"]),
+                   target=ObjectReference.parse(value["target"]),
+                   parameters=dict(value.get("parameters", {})),
+                   delay=float(value.get("delay", 0.0)))
+
+
+@register_class
+@dataclass
+class ActionClass(MhObject):
+    """A synchronisation set of elementary actions.
+
+    ``mode`` is "parallel" (all actions start at their own delays,
+    measured from execution) or "serial" (each action starts when the
+    previous one has been issued, delays accumulating).
+    """
+
+    CLASS_ID: ClassVar[ClassId] = ClassId.ACTION
+    FIELDS: ClassVar[Tuple[str, ...]] = ("actions", "mode")
+
+    actions: List[ElementaryAction] = field(default_factory=list)
+    mode: str = "parallel"
+
+    def validate(self) -> None:
+        if self.mode not in ("parallel", "serial"):
+            raise EncodingError(f"{self}: bad action mode {self.mode!r}")
+        if not self.actions:
+            raise EncodingError(f"{self}: action object with no actions")
+
+    def schedule(self) -> List[Tuple[float, ElementaryAction]]:
+        """(relative time, action) pairs per the mode semantics."""
+        if self.mode == "parallel":
+            return [(a.delay, a) for a in self.actions]
+        out = []
+        t = 0.0
+        for a in self.actions:
+            t += a.delay
+            out.append((t, a))
+        return out
+
+
+class ConditionKind(enum.Enum):
+    TRIGGER = "trigger"        # fires on a detected status change
+    ADDITIONAL = "additional"  # tested when a trigger fires
+
+
+@dataclass
+class LinkCondition:
+    """A predicate over an object's status or attribute value.
+
+    *attribute* names an engine-visible status: ``rt_state``,
+    ``presentation``, ``selected``, ``value``, ``prepared``...
+    *comparison* is one of ``==  !=  >  <  >=  <=``.
+    """
+
+    kind: ConditionKind
+    source: ObjectReference
+    attribute: str
+    comparison: str
+    value: Any
+
+    _OPS = ("==", "!=", ">", "<", ">=", "<=")
+
+    def __post_init__(self) -> None:
+        if self.comparison not in self._OPS:
+            raise ValueError(f"bad comparison {self.comparison!r}")
+
+    def evaluate(self, observed: Any) -> bool:
+        if self.comparison == "==":
+            return observed == self.value
+        if self.comparison == "!=":
+            return observed != self.value
+        if observed is None:
+            return False
+        if self.comparison == ">":
+            return observed > self.value
+        if self.comparison == "<":
+            return observed < self.value
+        if self.comparison == ">=":
+            return observed >= self.value
+        return observed <= self.value
+
+    def to_value(self) -> Dict[str, Any]:
+        return {"kind": self.kind.value, "source": str(self.source),
+                "attribute": self.attribute, "comparison": self.comparison,
+                "value": self.value}
+
+    @classmethod
+    def from_value(cls, value: Dict[str, Any]) -> "LinkCondition":
+        return cls(kind=ConditionKind(value["kind"]),
+                   source=ObjectReference.parse(value["source"]),
+                   attribute=value["attribute"],
+                   comparison=value["comparison"],
+                   value=value.get("value"))
+
+
+@register_class
+@dataclass
+class LinkClass(MhObject):
+    """Relationship between sources and targets.
+
+    The link fires when any trigger condition matches a status change
+    and all additional conditions hold; the effect is either an inline
+    action object or a reference to one.  Links interchange fully
+    resolved — "links in MHEG link objects require no further
+    processing other than their direct execution" (§2.3.2).
+    """
+
+    CLASS_ID: ClassVar[ClassId] = ClassId.LINK
+    FIELDS: ClassVar[Tuple[str, ...]] = (
+        "trigger_conditions", "additional_conditions", "effect",
+        "effect_ref", "once",
+    )
+
+    trigger_conditions: List[LinkCondition] = field(default_factory=list)
+    additional_conditions: List[LinkCondition] = field(default_factory=list)
+    #: inline action object (exactly one of effect / effect_ref)
+    effect: Optional[ActionClass] = None
+    #: reference to an interchanged action object
+    effect_ref: Optional[ObjectReference] = None
+    #: if True the link disarms after its first firing
+    once: bool = False
+
+    def validate(self) -> None:
+        if not self.trigger_conditions:
+            raise EncodingError(f"{self}: link needs a trigger condition")
+        for c in self.trigger_conditions:
+            if c.kind is not ConditionKind.TRIGGER:
+                raise EncodingError(f"{self}: non-trigger in trigger set")
+        for c in self.additional_conditions:
+            if c.kind is not ConditionKind.ADDITIONAL:
+                raise EncodingError(f"{self}: non-additional in additional set")
+        if (self.effect is None) == (self.effect_ref is None):
+            raise EncodingError(
+                f"{self}: exactly one of effect and effect_ref must be set")
+        if self.effect is not None:
+            self.effect.validate()
+
+    def sources(self) -> List[ObjectReference]:
+        return [c.source for c in self.trigger_conditions]

@@ -1,0 +1,108 @@
+"""Composite class — the presentation grouping tool (§2.2.2.4).
+
+"The composite class provides facilities for associating multimedia
+and hypermedia objects with a consistent approach of synchronization
+in time and space, or linking of a set of objects."  A composite
+carries component references, socket declarations for its run-time
+copies, the links that wire behaviour, and an optional
+synchronisation specification (built by :mod:`repro.mheg.sync`).
+Composites may contain other composites, giving the
+section/subsection/scene hierarchy the document models of chapter 4
+compile into.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Dict, List, Optional, Tuple
+
+from repro.mheg.classes.base import ClassId, MhObject, register_class
+from repro.mheg.identifiers import ObjectReference
+from repro.util.errors import EncodingError
+
+
+class SocketKind(enum.Enum):
+    """Socket typing per §2.2.2.2."""
+
+    EMPTY = "empty"              # a null runtime-component is plugged
+    PRESENTABLE = "presentable"  # rt-content or rt-multiplexed-content
+    STRUCTURAL = "structural"    # rt-composite
+
+
+@dataclass
+class Socket:
+    """An element of a runtime-composite where a runtime-component is
+    plugged in."""
+
+    name: str
+    kind: SocketKind = SocketKind.EMPTY
+    #: model object whose run-time copy is plugged at instantiation
+    plugged: Optional[ObjectReference] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("socket needs a name")
+        if self.kind is SocketKind.EMPTY and self.plugged is not None:
+            raise ValueError(f"socket {self.name}: empty sockets plug nothing")
+        if self.kind is not SocketKind.EMPTY and self.plugged is None:
+            raise ValueError(f"socket {self.name}: non-empty socket must plug "
+                             "a component")
+
+    def to_value(self) -> Dict[str, Any]:
+        return {"name": self.name, "kind": self.kind.value,
+                "plugged": str(self.plugged) if self.plugged else None}
+
+    @classmethod
+    def from_value(cls, value: Dict[str, Any]) -> "Socket":
+        plugged = value.get("plugged")
+        return cls(name=value["name"], kind=SocketKind(value["kind"]),
+                   plugged=ObjectReference.parse(plugged) if plugged else None)
+
+
+@register_class
+@dataclass
+class CompositeClass(MhObject):
+    """A group of components presented under one scenario."""
+
+    CLASS_ID: ClassVar[ClassId] = ClassId.COMPOSITE
+    FIELDS: ClassVar[Tuple[str, ...]] = (
+        "components", "sockets", "links", "sync_spec", "layout",
+    )
+
+    #: references to component objects (contents, composites, scripts)
+    components: List[ObjectReference] = field(default_factory=list)
+    #: socket declarations for run-time copies
+    sockets: List[Socket] = field(default_factory=list)
+    #: links giving this composite its interactive behaviour
+    links: List[ObjectReference] = field(default_factory=list)
+    #: serialised synchronisation specification (see repro.mheg.sync)
+    sync_spec: Optional[Dict[str, Any]] = None
+    #: spatial layout: component ref string -> {position, size, channel}
+    layout: Dict[str, Any] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        refs = {str(r) for r in self.components}
+        if len(refs) != len(self.components):
+            raise EncodingError(f"{self}: duplicate component references")
+        names = [s.name for s in self.sockets]
+        if len(set(names)) != len(names):
+            raise EncodingError(f"{self}: duplicate socket names")
+        for s in self.sockets:
+            if s.plugged is not None and str(s.plugged) not in refs:
+                raise EncodingError(
+                    f"{self}: socket {s.name} plugs non-component "
+                    f"{s.plugged}")
+        for key in self.layout:
+            if key not in refs:
+                raise EncodingError(
+                    f"{self}: layout entry for non-component {key}")
+
+    def component_refs(self) -> List[ObjectReference]:
+        return list(self.components)
+
+    def socket(self, name: str) -> Socket:
+        for s in self.sockets:
+            if s.name == name:
+                return s
+        raise KeyError(f"no socket {name!r} in {self}")

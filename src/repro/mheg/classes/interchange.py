@@ -1,0 +1,116 @@
+"""Container and descriptor classes — the interchange tools (§2.2.2.1).
+
+The container regroups objects "in order to interchange them as a
+whole set" (Fig 2.8); the descriptor carries resource information so
+the presentation site can check — *before* the real content objects
+are transmitted — that it can handle them, or negotiate (§3.1.2.2
+"Minimal Resources").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Dict, List, Tuple
+
+from repro.mheg.classes.base import ClassId, MhObject, register_class
+from repro.mheg.identifiers import ObjectReference
+from repro.util.errors import EncodingError
+
+
+@register_class
+@dataclass
+class ContainerClass(MhObject):
+    """Groups whole objects for interchange as one unit.
+
+    Unlike composites (which reference), containers *carry* their
+    objects, because the receiving engine may know nothing yet.
+    """
+
+    CLASS_ID: ClassVar[ClassId] = ClassId.CONTAINER
+    FIELDS: ClassVar[Tuple[str, ...]] = ("objects",)
+
+    objects: List[MhObject] = field(default_factory=list)
+
+    def validate(self) -> None:
+        seen = set()
+        for obj in self.objects:
+            key = str(obj.identifier)
+            if key in seen:
+                raise EncodingError(f"{self}: duplicate object {key}")
+            seen.add(key)
+            obj.validate()
+
+    def find(self, reference: ObjectReference) -> MhObject:
+        for obj in self.objects:
+            if obj.identifier == reference.identifier:
+                return obj
+        raise KeyError(f"{reference} not in {self}")
+
+    def manifest(self) -> List[str]:
+        return [str(o.identifier) for o in self.objects]
+
+
+@dataclass
+class ResourceRequirement:
+    """One resource the presentation of a set of objects needs."""
+
+    decoder: str                 # coding method required, e.g. "SMPG"
+    peak_bitrate_bps: float = 0.0
+    storage_bytes: int = 0
+
+    def to_value(self) -> Dict[str, Any]:
+        return {"decoder": self.decoder,
+                "peak_bitrate_bps": self.peak_bitrate_bps,
+                "storage_bytes": self.storage_bytes}
+
+    @classmethod
+    def from_value(cls, value: Dict[str, Any]) -> "ResourceRequirement":
+        return cls(decoder=value["decoder"],
+                   peak_bitrate_bps=float(value.get("peak_bitrate_bps", 0.0)),
+                   storage_bytes=int(value.get("storage_bytes", 0)))
+
+
+@register_class
+@dataclass
+class DescriptorClass(MhObject):
+    """Resource information about a set of interchanged objects."""
+
+    CLASS_ID: ClassVar[ClassId] = ClassId.DESCRIPTOR
+    FIELDS: ClassVar[Tuple[str, ...]] = (
+        "described", "requirements", "readme", "total_size",
+    )
+
+    #: the objects this descriptor describes
+    described: List[ObjectReference] = field(default_factory=list)
+    requirements: List[ResourceRequirement] = field(default_factory=list)
+    #: human/system-readable material for negotiation
+    readme: str = ""
+    total_size: int = 0
+
+    def validate(self) -> None:
+        if not self.described:
+            raise EncodingError(f"{self}: descriptor describes nothing")
+
+    def check_capabilities(self, capabilities: Dict[str, Any]
+                           ) -> Tuple[bool, List[str]]:
+        """Negotiation: can a site with *capabilities* present these
+        objects?
+
+        *capabilities* keys: ``decoders`` (iterable of coding methods),
+        ``bandwidth_bps``, ``storage_bytes``.  Returns (ok, problems).
+        """
+        problems: List[str] = []
+        decoders = set(capabilities.get("decoders", ()))
+        for req in self.requirements:
+            if req.decoder not in decoders:
+                problems.append(f"missing decoder {req.decoder}")
+            bw = capabilities.get("bandwidth_bps")
+            if bw is not None and req.peak_bitrate_bps > bw:
+                problems.append(
+                    f"{req.decoder} needs {req.peak_bitrate_bps:.0f} bps, "
+                    f"site has {bw:.0f}")
+        storage = capabilities.get("storage_bytes")
+        if storage is not None and self.total_size > storage:
+            problems.append(
+                f"objects total {self.total_size} bytes, site has {storage}")
+        return (not problems), problems

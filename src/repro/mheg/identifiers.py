@@ -1,0 +1,72 @@
+"""MHEG object identification.
+
+Every MHEG object carries an identifier unique within its application
+domain; links, actions, and composites refer to other objects through
+references rather than containment, which is what makes MHEG objects
+reusable across presentations (§3.1.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True, order=True)
+class MhegIdentifier:
+    """(application id, object number) — unique object identity."""
+
+    application: str
+    number: int
+
+    def __post_init__(self) -> None:
+        if not self.application:
+            raise ValueError("application id must be non-empty")
+        if self.number < 0:
+            raise ValueError("object number must be non-negative")
+
+    def __str__(self) -> str:
+        return f"{self.application}/{self.number}"
+
+    @classmethod
+    def parse(cls, text: str) -> "MhegIdentifier":
+        app, _, num = text.rpartition("/")
+        if not app or not num.isdigit():
+            raise ValueError(f"malformed MHEG identifier {text!r}")
+        return cls(application=app, number=int(num))
+
+
+@dataclass(frozen=True)
+class ObjectReference:
+    """A reference to an MHEG object or to one of its run-time copies.
+
+    ``rt_tag`` distinguishes run-time instances created from the same
+    model object (``None`` refers to the model object itself).
+    """
+
+    identifier: MhegIdentifier
+    rt_tag: Optional[int] = None
+
+    @property
+    def is_runtime(self) -> bool:
+        return self.rt_tag is not None
+
+    def __str__(self) -> str:
+        if self.rt_tag is None:
+            return str(self.identifier)
+        return f"{self.identifier}#{self.rt_tag}"
+
+    @classmethod
+    def parse(cls, text: str) -> "ObjectReference":
+        base, sep, tag = text.partition("#")
+        ident = MhegIdentifier.parse(base)
+        if sep:
+            if not tag.isdigit():
+                raise ValueError(f"malformed run-time tag in {text!r}")
+            return cls(identifier=ident, rt_tag=int(tag))
+        return cls(identifier=ident)
+
+
+def ref(application: str, number: int, rt_tag: Optional[int] = None) -> ObjectReference:
+    """Convenience constructor used throughout tests and examples."""
+    return ObjectReference(MhegIdentifier(application, number), rt_tag)

@@ -1,0 +1,29 @@
+"""The courseware navigator (Chapter 5).
+
+The user-site application: it presents courseware retrieved on demand
+from the database, handles the student's interaction, and fronts every
+TeleSchool facility (§5.2.1).  The 1996 prototype was a Windows 95
+GUI; this one is headless — every screen of Figs 5.3-5.7 exists as a
+state of :class:`~repro.navigator.navigator.Navigator` with the same
+inputs and effects, which makes the sample learning session of §5.4
+scriptable and testable.
+
+* :mod:`repro.navigator.presenter` — courseware playback on an MHEG
+  engine, with content preloading and visibility queries;
+* :mod:`repro.navigator.session` — one classroom session: resume
+  positions, bookmarks, interaction;
+* :mod:`repro.navigator.navigator` — the application state machine:
+  entry screen, registration, main menu, classroom, library,
+  administration, discussion, bulletin, exercises.
+"""
+
+from repro.navigator.presenter import CoursewarePresenter
+from repro.navigator.session import LearningSession
+from repro.navigator.navigator import Navigator, NavigatorState
+
+__all__ = [
+    "CoursewarePresenter",
+    "LearningSession",
+    "Navigator",
+    "NavigatorState",
+]

@@ -1,0 +1,45 @@
+"""TeleSchool services (§5.2.1 feature set).
+
+Beyond classroom presentation, the navigator's feature analysis lists
+administration, library browsing, meeting and discussing, a bulletin
+board, and exercises.  These services live here, server-side, with
+RPC registrations that extend the database server's surface:
+
+* :mod:`repro.school.bulletin` — the news-group style bulletin board;
+* :mod:`repro.school.exercise` — exercises with several question
+  styles, grading, and contests;
+* :mod:`repro.school.discussion` — meeting/discussing between
+  students and the on-line facilitator (e-mail, text conference), with
+  a scriptable facilitator persona;
+* :mod:`repro.school.service` — glues the above to a
+  :class:`~repro.transport.rpc.RpcServer` and provides the client
+  wrapper.
+"""
+
+from repro.school.bulletin import BulletinBoard, BulletinPost
+from repro.school.exercise import (
+    Exercise, ExerciseService, MultipleChoiceQuestion, NumericQuestion,
+    TextQuestion,
+)
+from repro.school.discussion import (
+    DiscussionService, Facilitator, Message,
+)
+from repro.school.service import SchoolService, SchoolClient
+from repro.school.billing import BillingService, Tariff
+
+__all__ = [
+    "BulletinBoard",
+    "BulletinPost",
+    "Exercise",
+    "ExerciseService",
+    "MultipleChoiceQuestion",
+    "NumericQuestion",
+    "TextQuestion",
+    "DiscussionService",
+    "Facilitator",
+    "Message",
+    "SchoolService",
+    "SchoolClient",
+    "BillingService",
+    "Tariff",
+]

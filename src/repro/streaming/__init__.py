@@ -1,0 +1,22 @@
+"""Continuous-media streaming over ATM virtual circuits.
+
+The thesis's broadband argument (§1.3.3, §3.3) is that "for obtaining
+good quality of service in real time presentation of dynamic media
+such as video and audio, we suggest broadband network to be chosen".
+This subpackage makes that measurable:
+
+* :mod:`repro.streaming.sender` — a server-side streamer that paces
+  encoded video frames onto a VC at their presentation timestamps
+  (I frames bigger than P frames, so traffic is genuinely VBR);
+* :mod:`repro.streaming.player` — a client-side playout model with a
+  startup (pre-roll) buffer that counts stalls and rebuffer time when
+  frames miss their deadline.
+
+Benchmark EX.3 sweeps link bandwidth with these and reproduces the
+stall-cliff below the video bitrate.
+"""
+
+from repro.streaming.sender import VideoStreamSender
+from repro.streaming.player import PlayoutStats, VideoPlayer
+
+__all__ = ["VideoStreamSender", "VideoPlayer", "PlayoutStats"]

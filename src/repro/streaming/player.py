@@ -1,0 +1,157 @@
+"""Client-side playout model with stall accounting.
+
+The player buffers arriving frames and starts playback after a
+*pre-roll* delay.  A frame whose presentation deadline passes before
+it arrives causes a **stall**: the playout clock freezes until the
+frame shows up, and the stall's duration is recorded.  Lost frames
+(AAL5 CRC failures upstream) are skipped after a grace period and
+counted separately.
+
+The metrics — startup delay, stall count, total rebuffer time, frame
+loss — are exactly what the bandwidth-sweep experiment (EX.3) reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.atm.network import DeliveryInfo
+from repro.atm.simulator import Simulator
+from repro.streaming.sender import unpack_frame
+
+
+@dataclass
+class PlayoutStats:
+    frames_expected: int = 0
+    frames_played: int = 0
+    frames_skipped: int = 0
+    startup_delay: float = 0.0
+    stalls: int = 0
+    rebuffer_time: float = 0.0
+    #: per-frame network delay samples
+    delays: List[float] = field(default_factory=list)
+
+    @property
+    def stall_free(self) -> bool:
+        return self.stalls == 0 and self.frames_skipped == 0
+
+
+class VideoPlayer:
+    """Consumes a frame stream; drives a playout clock with stalls."""
+
+    def __init__(self, sim: Simulator, *, preroll: float = 0.5,
+                 skip_grace: float = 2.0,
+                 frames_expected: int = 0) -> None:
+        self.sim = sim
+        self.preroll = preroll
+        self.skip_grace = skip_grace
+        self.stats = PlayoutStats(frames_expected=frames_expected)
+        self._buffer: Dict[int, float] = {}   # index -> timestamp
+        self._arrival: Dict[int, float] = {}
+        self._timestamps: Dict[int, float] = {}
+        self._next_frame = 0
+        self._play_started: Optional[float] = None
+        self._first_arrival: Optional[float] = None
+        self._stall_started: Optional[float] = None
+        self._clock_offset: Optional[float] = None
+        self._last_index: Optional[int] = None
+        self.finished = False
+
+    # -- network entry point ----------------------------------------------
+
+    def on_pdu(self, payload: bytes, info: DeliveryInfo) -> None:
+        index, timestamp, last, _frame = unpack_frame(payload)
+        self._buffer[index] = timestamp
+        self._arrival[index] = self.sim.now
+        self._timestamps[index] = timestamp
+        if info is not None:
+            self.stats.delays.append(info.delay)
+        if last:
+            self._last_index = index
+        if self._first_arrival is None:
+            self._first_arrival = self.sim.now
+            self.sim.schedule(self.preroll, self._start_playback)
+        elif self._stall_started is not None and index == self._next_frame:
+            self._end_stall()
+
+    def _start_playback(self) -> None:
+        self._play_started = self.sim.now
+        self.stats.startup_delay = self.sim.now - self._first_arrival \
+            + 0.0
+        # playout clock: frame with timestamp T plays at offset + T
+        self._clock_offset = self.sim.now
+        self._advance()
+
+    # -- playout loop --------------------------------------------------------
+
+    def _advance(self) -> None:
+        if self.finished:
+            return
+        index = self._next_frame
+        if self._last_index is not None and index > self._last_index:
+            self.finished = True
+            return
+        if index in self._buffer:
+            due = self._clock_offset + self._buffer[index]
+            if self.sim.now >= due:
+                self._play_frame(index)
+            else:
+                self.sim.schedule(due - self.sim.now, self._advance)
+        else:
+            # frame missing at its deadline: stall
+            if self._stall_started is None:
+                due = self._clock_offset + self._estimate_timestamp(index)
+                if self.sim.now >= due:
+                    self._begin_stall()
+                else:
+                    self.sim.schedule(due - self.sim.now, self._advance)
+            # else: already stalling; arrival or skip timer resumes us
+
+    def _estimate_timestamp(self, index: int) -> float:
+        if index in self._timestamps:
+            return self._timestamps[index]
+        if self._timestamps:
+            # uniform frame spacing: extrapolate from what we have
+            known = sorted(self._timestamps)
+            if len(known) >= 2:
+                spacing = ((self._timestamps[known[-1]]
+                            - self._timestamps[known[0]])
+                           / max(1, known[-1] - known[0]))
+                return self._timestamps[known[0]] \
+                    + (index - known[0]) * spacing
+            return self._timestamps[known[0]]
+        return 0.0
+
+    def _begin_stall(self) -> None:
+        self._stall_started = self.sim.now
+        self.stats.stalls += 1
+        self.sim.schedule(self.skip_grace, self._skip_if_still_missing,
+                          self._next_frame)
+
+    def _end_stall(self) -> None:
+        assert self._stall_started is not None
+        stall = self.sim.now - self._stall_started
+        self.stats.rebuffer_time += stall
+        # freeze the playout clock for the stall duration
+        self._clock_offset += stall
+        self._stall_started = None
+        self._advance()
+
+    def _skip_if_still_missing(self, index: int) -> None:
+        if self.finished or self._stall_started is None:
+            return
+        if self._next_frame == index and index not in self._buffer:
+            stall = self.sim.now - self._stall_started
+            self.stats.rebuffer_time += stall
+            self._clock_offset += stall
+            self._stall_started = None
+            self.stats.frames_skipped += 1
+            self._next_frame += 1
+            self._advance()
+
+    def _play_frame(self, index: int) -> None:
+        self.stats.frames_played += 1
+        del self._buffer[index]
+        self._next_frame = index + 1
+        self._advance()

@@ -1,0 +1,67 @@
+"""Server-side video streaming.
+
+Frames of an encoded SMPG sequence are sent over a virtual circuit as
+individual AAL5 PDUs, each prefixed with a small header carrying the
+frame index and presentation timestamp.  The sender paces transmission
+by the frame timestamps (optionally shifted earlier by *lead* to fill
+the client's pre-roll buffer faster).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.atm.network import VirtualCircuit
+from repro.atm.simulator import Simulator
+from repro.media.video import VideoStream
+
+_FRAME_HEADER = struct.Struct(">IdB")  # index, timestamp, last flag
+
+
+def pack_frame(index: int, timestamp: float, last: bool,
+               payload: bytes) -> bytes:
+    return _FRAME_HEADER.pack(index, timestamp, 1 if last else 0) + payload
+
+
+def unpack_frame(data: bytes):
+    index, timestamp, last = _FRAME_HEADER.unpack_from(data)
+    return index, timestamp, bool(last), data[_FRAME_HEADER.size:]
+
+
+class VideoStreamSender:
+    """Paces one encoded video sequence onto a VC."""
+
+    def __init__(self, sim: Simulator, vc: VirtualCircuit, data: bytes, *,
+                 lead: float = 0.0) -> None:
+        self.sim = sim
+        self.vc = vc
+        self.stream = VideoStream(data)
+        self.lead = lead
+        self.frames_sent = 0
+        self.bytes_sent = 0
+        self.started_at: Optional[float] = None
+        self.finished = False
+
+    @property
+    def mean_bitrate_bps(self) -> float:
+        total = sum(info.size for info in self.stream.frame_infos())
+        return total * 8 / self.stream.duration
+
+    def start(self) -> None:
+        """Schedule every frame's transmission at its (lead-shifted)
+        timestamp relative to now."""
+        self.started_at = self.sim.now
+        for i, (timestamp, frame) in enumerate(self.stream):
+            send_at = max(0.0, timestamp - self.lead)
+            last = i == self.stream.frames - 1
+            self.sim.schedule(send_at, self._send_frame, i, timestamp,
+                              last, frame)
+
+    def _send_frame(self, index: int, timestamp: float, last: bool,
+                    frame: bytes) -> None:
+        self.vc.send(pack_frame(index, timestamp, last, frame))
+        self.frames_sent += 1
+        self.bytes_sent += len(frame)
+        if last:
+            self.finished = True

@@ -1,0 +1,34 @@
+"""Transport layer: reliable messaging and RPC over ATM virtual circuits.
+
+The thesis's client–server model (Fig 3.5) has user sites running a
+client module that issues requests — ``Get_List_Doc``,
+``Get_Selected_Doc`` — to a database server, with responses and media
+streams flowing back over the ATM network.  This subpackage builds the
+stack those sit on:
+
+* :mod:`repro.transport.wire` — a compact self-describing binary
+  encoding for python values (the request/response bodies);
+* :mod:`repro.transport.messages` — typed message framing with
+  correlation ids;
+* :mod:`repro.transport.connection` — a sliding-window ARQ giving
+  reliable, ordered message delivery over lossy AAL5 frames;
+* :mod:`repro.transport.rpc` — request/response endpoints with named
+  methods, plus one-way streams for media delivery.
+"""
+
+from repro.transport.wire import dump_value, load_value
+from repro.transport.messages import Message, MessageType
+from repro.transport.connection import Connection
+from repro.transport.rpc import RpcClient, RpcServer, RpcError, StreamReceiver
+
+__all__ = [
+    "dump_value",
+    "load_value",
+    "Message",
+    "MessageType",
+    "Connection",
+    "RpcClient",
+    "RpcServer",
+    "RpcError",
+    "StreamReceiver",
+]

@@ -1,0 +1,234 @@
+"""Reliable ordered message delivery over a lossy duplex VC.
+
+AAL5 gives loss *detection* (a dropped cell fails the frame CRC) but
+no recovery, so the connection implements a go-back-N sliding-window
+ARQ:
+
+* every DATA-bearing message carries a sequence number; the receiver
+  delivers in order and discards out-of-order arrivals (go-back-N);
+* every message (including bare ACKs) carries the cumulative ack —
+  the next in-order sequence the receiver expects;
+* unacked messages are retransmitted after a timeout, with the window
+  bounding how much may be in flight.
+
+Applications register an ``on_message`` callback and call
+:meth:`Connection.send`; everything below that — segmentation,
+retransmission, ordering — is invisible, which is exactly the
+"transparency for end users" the thesis's client-server section asks
+the distribution platform to provide.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Optional
+
+from repro.atm.network import DeliveryInfo, DuplexEndpoint
+from repro.atm.simulator import Event, Simulator
+from repro.transport.messages import FLAG_MORE_FRAGMENTS, Message, MessageType
+from repro.util.errors import DecodingError, NetworkError
+
+#: largest message body carried in a single AAL5 frame; bigger bodies
+#: are fragmented (AAL5 caps the CPCS payload at 65535 octets and the
+#: message header takes 20)
+MAX_FRAGMENT_BODY = 32768
+
+
+@dataclass
+class ConnectionStats:
+    sent: int = 0
+    retransmitted: int = 0
+    delivered: int = 0
+    out_of_order_dropped: int = 0
+    decode_errors: int = 0
+    acks_sent: int = 0
+
+
+class Connection:
+    """One reliable endpoint.  Create one at each end of a duplex VC."""
+
+    def __init__(self, sim: Simulator, endpoint: DuplexEndpoint, *,
+                 window: int = 32, retransmit_timeout: float = 0.05,
+                 max_retries: int = 30,
+                 on_message: Optional[Callable[[Message], None]] = None,
+                 name: str = "") -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.sim = sim
+        self.endpoint = endpoint
+        self.window = window
+        self.rto = retransmit_timeout
+        self.max_retries = max_retries
+        self.on_message = on_message
+        self.name = name
+        self.stats = ConnectionStats()
+        self.closed = False
+
+        self._next_seq = 0          # next sequence number to assign
+        self._send_base = 0         # oldest unacked sequence
+        self._recv_next = 0         # next expected sequence
+        self._backlog: Deque[Message] = deque()   # waiting for window space
+        self._in_flight: Dict[int, Message] = {}
+        self._retries: Dict[int, int] = {}
+        self._timer: Optional[Event] = None
+        self._reassembly: list = []
+        # wire receive side: the caller must route incoming AAL5 PDUs
+        # (for the VC underlying this endpoint) to handle_pdu.
+
+    # -- sending ---------------------------------------------------------
+
+    def send(self, msg: Message) -> None:
+        """Queue *msg* for reliable in-order delivery to the peer.
+
+        Bodies larger than one AAL5 frame are fragmented transparently;
+        the receiving connection reassembles before delivering.
+        """
+        if self.closed:
+            raise NetworkError(f"connection {self.name} is closed")
+        if len(msg.body) > MAX_FRAGMENT_BODY:
+            body = msg.body
+            offsets = range(0, len(body), MAX_FRAGMENT_BODY)
+            last = len(body) - (len(body) % MAX_FRAGMENT_BODY or MAX_FRAGMENT_BODY)
+            for off in offsets:
+                frag = Message(
+                    type=msg.type, corr_id=msg.corr_id,
+                    body=body[off:off + MAX_FRAGMENT_BODY],
+                    flags=msg.flags | (FLAG_MORE_FRAGMENTS if off < last else 0))
+                self._enqueue(frag)
+        else:
+            self._enqueue(msg)
+
+    def _enqueue(self, msg: Message) -> None:
+        msg.seq = self._next_seq
+        self._next_seq += 1
+        self._backlog.append(msg)
+        self._pump()
+
+    def _pump(self) -> None:
+        while self._backlog and len(self._in_flight) < self.window:
+            msg = self._backlog.popleft()
+            self._transmit(msg)
+
+    def _transmit(self, msg: Message) -> None:
+        msg.ack = self._recv_next
+        self._in_flight[msg.seq] = msg
+        self._retries.setdefault(msg.seq, 0)
+        self.endpoint.send(msg.encode())
+        self.stats.sent += 1
+        self._arm_timer()
+
+    def _arm_timer(self) -> None:
+        if self._timer is None and self._in_flight:
+            self._timer = self.sim.schedule(self.rto, self._on_timeout)
+
+    def _on_timeout(self) -> None:
+        self._timer = None
+        if not self._in_flight or self.closed:
+            return
+        # go-back-N: resend everything still in flight, oldest first.
+        # Only the head-of-line message is charged a retry — the rest
+        # are retransmitted because of it, not through their own fault.
+        base = min(self._in_flight)
+        self._retries[base] = self._retries.get(base, 0) + 1
+        if self._retries[base] > self.max_retries:
+            self.closed = True
+            raise NetworkError(
+                f"connection {self.name}: message seq={base} exceeded "
+                f"{self.max_retries} retries; peer unreachable")
+        for seq in sorted(self._in_flight):
+            msg = self._in_flight[seq]
+            msg.ack = self._recv_next
+            self.endpoint.send(msg.encode())
+            self.stats.retransmitted += 1
+        self._arm_timer()
+
+    # -- receiving -------------------------------------------------------
+
+    def handle_pdu(self, payload: bytes, info: DeliveryInfo) -> None:
+        """Entry point for AAL5 PDUs arriving on the underlying VC."""
+        try:
+            msg = Message.decode(payload)
+        except DecodingError:
+            self.stats.decode_errors += 1
+            return
+        self._process_ack(msg.ack)
+        if msg.type is MessageType.ACK:
+            return
+        if msg.seq == self._recv_next:
+            self._recv_next += 1
+            self.stats.delivered += 1
+            self._send_ack()
+            self._deliver(msg)
+        elif msg.seq < self._recv_next:
+            # duplicate of something already delivered: re-ack
+            self._send_ack()
+        else:
+            # gap: go-back-N receivers drop and re-assert the cumulative ack
+            self.stats.out_of_order_dropped += 1
+            self._send_ack()
+
+    def _process_ack(self, ack: int) -> None:
+        advanced = False
+        for seq in [s for s in self._in_flight if s < ack]:
+            del self._in_flight[seq]
+            self._retries.pop(seq, None)
+            advanced = True
+        if ack > self._send_base:
+            self._send_base = ack
+        if advanced:
+            if self._timer is not None:
+                self._timer.cancel()
+                self._timer = None
+            self._arm_timer()
+            self._pump()
+
+    def _deliver(self, msg: Message) -> None:
+        """Reassemble fragments; hand complete messages to the app."""
+        if msg.more_fragments:
+            self._reassembly.append(msg.body)
+            return
+        if self._reassembly:
+            self._reassembly.append(msg.body)
+            msg = Message(type=msg.type, seq=msg.seq, ack=msg.ack,
+                          corr_id=msg.corr_id,
+                          body=b"".join(self._reassembly))
+            self._reassembly = []
+        if self.on_message is not None:
+            self.on_message(msg)
+
+    def _send_ack(self) -> None:
+        self.endpoint.send(
+            Message(type=MessageType.ACK, ack=self._recv_next).encode())
+        self.stats.acks_sent += 1
+
+    # -- teardown --------------------------------------------------------
+
+    def close(self) -> None:
+        self.closed = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self._backlog.clear()
+        self._in_flight.clear()
+
+
+def connect_pair(sim: Simulator, network, a: str, b: str, contract, *,
+                 window: int = 32, rto: float = 0.05
+                 ) -> tuple[Connection, Connection]:
+    """Open a duplex VC between hosts *a* and *b* and wrap both ends in
+    connections, fully wired.  Returns (conn_at_a, conn_at_b)."""
+    holder: dict = {}
+
+    def handler_a(payload: bytes, info: DeliveryInfo) -> None:
+        holder["a"].handle_pdu(payload, info)
+
+    def handler_b(payload: bytes, info: DeliveryInfo) -> None:
+        holder["b"].handle_pdu(payload, info)
+
+    channel = network.open_duplex(a, b, contract, handler_a, handler_b)
+    holder["a"] = Connection(sim, channel.endpoint(a), window=window,
+                             retransmit_timeout=rto, name=f"{a}->{b}")
+    holder["b"] = Connection(sim, channel.endpoint(b), window=window,
+                             retransmit_timeout=rto, name=f"{b}->{a}")
+    return holder["a"], holder["b"]

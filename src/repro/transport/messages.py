@@ -1,0 +1,83 @@
+"""Typed message framing.
+
+Each AAL5 frame at the transport level carries exactly one message:
+
+=========  =====================================================
+field      size / meaning
+=========  =====================================================
+magic      2 octets, ``MB`` (for MEDIABASE)
+type       1 octet, :class:`MessageType`
+flags      1 octet (bit 0: more fragments follow)
+seq        4 octets, ARQ sequence number
+ack        4 octets, cumulative acknowledgement
+corr_id    4 octets, request/response correlation id
+body_len   4 octets
+body       opaque payload (wire-encoded value or media chunk)
+=========  =====================================================
+
+Messages whose body exceeds one AAL5 frame are fragmented by the
+connection layer; bit 0 of *flags* marks non-final fragments.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+
+from repro.util.errors import DecodingError
+
+_MAGIC = b"MB"
+_HEADER = struct.Struct(">2sBBIIII")
+
+FLAG_MORE_FRAGMENTS = 0x01
+
+
+class MessageType(enum.IntEnum):
+    DATA = 0        # reliable payload-bearing segment
+    ACK = 1         # bare acknowledgement (no payload)
+    REQUEST = 2     # RPC request (rides inside DATA body)
+    RESPONSE = 3    # RPC response
+    ERROR = 4       # RPC error response
+    STREAM_DATA = 5 # one chunk of a media stream
+    STREAM_END = 6  # end-of-stream marker
+
+
+@dataclass
+class Message:
+    """One transport message (one AAL5 frame)."""
+
+    type: MessageType
+    seq: int = 0
+    ack: int = 0
+    corr_id: int = 0
+    body: bytes = b""
+    flags: int = 0
+
+    @property
+    def more_fragments(self) -> bool:
+        return bool(self.flags & FLAG_MORE_FRAGMENTS)
+
+    def encode(self) -> bytes:
+        return _HEADER.pack(_MAGIC, int(self.type), self.flags, self.seq,
+                            self.ack, self.corr_id, len(self.body)) + self.body
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Message":
+        if len(data) < _HEADER.size:
+            raise DecodingError(
+                f"message too short: {len(data)} < {_HEADER.size}")
+        magic, mtype, flags, seq, ack, corr, blen = _HEADER.unpack_from(data)
+        if magic != _MAGIC:
+            raise DecodingError(f"bad message magic {magic!r}")
+        try:
+            mtype = MessageType(mtype)
+        except ValueError as exc:
+            raise DecodingError(f"unknown message type {mtype}") from exc
+        body = data[_HEADER.size:]
+        if len(body) != blen:
+            raise DecodingError(
+                f"message body length mismatch: header says {blen}, "
+                f"frame has {len(body)}")
+        return cls(type=mtype, seq=seq, ack=ack, corr_id=corr, body=body,
+                   flags=flags)

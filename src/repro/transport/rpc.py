@@ -1,0 +1,311 @@
+"""Request/response endpoints and media streams.
+
+:class:`RpcServer` registers named methods; :class:`RpcClient` calls
+them.  Both ride on a reliable :class:`~repro.transport.connection.Connection`,
+so requests and responses survive cell loss.  Because everything runs
+inside the discrete-event simulator, calls are asynchronous: the
+client's :meth:`RpcClient.call` returns a :class:`PendingCall` whose
+callback fires when the response arrives (or reports a timeout).
+
+Streams model on-demand media delivery: the server pushes
+``STREAM_DATA`` chunks tied to a correlation id; the client hands them
+to a :class:`StreamReceiver` which reassembles ordered chunks and
+signals completion on ``STREAM_END`` — the path a video object takes
+from the content server to the navigator.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.atm.simulator import Event, Simulator
+from repro.transport.connection import Connection
+from repro.transport.messages import Message, MessageType
+from repro.transport.wire import dump_value, load_value
+from repro.util.errors import ReproError
+
+
+class RpcError(ReproError):
+    """A remote method signalled failure."""
+
+    def __init__(self, method: str, reason: str) -> None:
+        super().__init__(f"{method}: {reason}")
+        self.method = method
+        self.reason = reason
+
+
+@dataclass
+class PendingCall:
+    """Handle for an in-flight request."""
+
+    method: str
+    corr_id: int
+    on_result: Optional[Callable[[Any], None]] = None
+    on_error: Optional[Callable[[RpcError], None]] = None
+    done: bool = False
+    result: Any = None
+    error: Optional[RpcError] = None
+    _timeout_event: Optional[Event] = None
+
+    def _complete(self, result: Any) -> None:
+        if self.done:
+            return
+        self.done = True
+        self.result = result
+        if self._timeout_event is not None:
+            self._timeout_event.cancel()
+        if self.on_result is not None:
+            self.on_result(result)
+
+    def _fail(self, error: RpcError) -> None:
+        if self.done:
+            return
+        self.done = True
+        self.error = error
+        if self._timeout_event is not None:
+            self._timeout_event.cancel()
+        if self.on_error is not None:
+            self.on_error(error)
+
+
+class StreamReceiver:
+    """Collects STREAM_DATA chunks for one correlation id."""
+
+    def __init__(self, on_chunk: Optional[Callable[[bytes], None]] = None,
+                 on_end: Optional[Callable[["StreamReceiver"], None]] = None) -> None:
+        self.chunks: List[bytes] = []
+        self.finished = False
+        self.on_chunk = on_chunk
+        self.on_end = on_end
+        self.first_chunk_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    @property
+    def data(self) -> bytes:
+        return b"".join(self.chunks)
+
+    def _feed(self, chunk: bytes, now: float) -> None:
+        if self.first_chunk_at is None:
+            self.first_chunk_at = now
+        self.chunks.append(chunk)
+        if self.on_chunk is not None:
+            self.on_chunk(chunk)
+
+    def _end(self, now: float) -> None:
+        self.finished = True
+        self.finished_at = now
+        if self.on_end is not None:
+            self.on_end(self)
+
+
+class RpcClient:
+    """Caller side.  Wire with ``RpcClient(sim, connection)``."""
+
+    def __init__(self, sim: Simulator, connection: Connection, *,
+                 default_timeout: float = 10.0) -> None:
+        self.sim = sim
+        self.connection = connection
+        self.default_timeout = default_timeout
+        self._corr = itertools.count(1)
+        self._pending: Dict[int, PendingCall] = {}
+        self._streams: Dict[int, StreamReceiver] = {}
+        connection.on_message = self._on_message
+
+    def call(self, method: str, params: Any = None, *,
+             on_result: Optional[Callable[[Any], None]] = None,
+             on_error: Optional[Callable[[RpcError], None]] = None,
+             timeout: Optional[float] = None) -> PendingCall:
+        """Issue a request.  Completion is signalled via callbacks."""
+        corr = next(self._corr)
+        pending = PendingCall(method=method, corr_id=corr,
+                              on_result=on_result, on_error=on_error)
+        self._pending[corr] = pending
+        body = dump_value({"method": method, "params": params})
+        self.connection.send(Message(type=MessageType.REQUEST,
+                                     corr_id=corr, body=body))
+        t = timeout if timeout is not None else self.default_timeout
+        pending._timeout_event = self.sim.schedule(
+            t, self._on_timeout, corr)
+        return pending
+
+    def open_stream(self, method: str, params: Any = None, *,
+                    on_chunk: Optional[Callable[[bytes], None]] = None,
+                    on_end: Optional[Callable[[StreamReceiver], None]] = None,
+                    timeout: Optional[float] = None) -> StreamReceiver:
+        """Issue a request whose response is a chunk stream."""
+        corr = next(self._corr)
+        receiver = StreamReceiver(on_chunk=on_chunk, on_end=on_end)
+        self._streams[corr] = receiver
+        body = dump_value({"method": method, "params": params})
+        self.connection.send(Message(type=MessageType.REQUEST,
+                                     corr_id=corr, body=body))
+        return receiver
+
+    def _on_timeout(self, corr: int) -> None:
+        pending = self._pending.pop(corr, None)
+        if pending is not None and not pending.done:
+            pending._fail(RpcError(pending.method, "timed out"))
+
+    def _on_message(self, msg: Message) -> None:
+        if msg.type is MessageType.RESPONSE:
+            pending = self._pending.pop(msg.corr_id, None)
+            if pending is not None:
+                pending._complete(load_value(msg.body))
+        elif msg.type is MessageType.ERROR:
+            pending = self._pending.pop(msg.corr_id, None)
+            if pending is not None:
+                reason = load_value(msg.body)
+                pending._fail(RpcError(pending.method, str(reason)))
+        elif msg.type is MessageType.STREAM_DATA:
+            stream = self._streams.get(msg.corr_id)
+            if stream is not None:
+                stream._feed(msg.body, self.sim.now)
+        elif msg.type is MessageType.STREAM_END:
+            stream = self._streams.pop(msg.corr_id, None)
+            if stream is not None:
+                stream._end(self.sim.now)
+
+
+#: handler signature: handler(params) -> result value, or raise RpcError
+Handler = Callable[[Any], Any]
+#: stream handler: handler(params) -> iterable of bytes chunks
+StreamHandler = Callable[[Any], Any]
+
+
+class SharedProcessor:
+    """A serialising CPU shared by all of one server's RPC endpoints.
+
+    The 1996 database site was one SUN/ULTRA: concurrent requests from
+    different clients queued for the same machine.  Endpoints created
+    with a shared processor dispatch through its FIFO, so response
+    time grows with concurrent load — the behaviour the Fig 3.5
+    scaling experiment measures.
+    """
+
+    def __init__(self, sim: Simulator, service_time: float) -> None:
+        self.sim = sim
+        self.service_time = service_time
+        self._queue: list = []
+        self._busy = False
+        self.jobs_done = 0
+        self.busy_time = 0.0
+
+    def submit(self, job: Callable[[], None]) -> None:
+        self._queue.append(job)
+        if not self._busy:
+            self._run_next()
+
+    def _run_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        job = self._queue.pop(0)
+        self.busy_time += self.service_time
+        self.sim.schedule(self.service_time, self._finish, job)
+
+    def _finish(self, job: Callable[[], None]) -> None:
+        job()
+        self.jobs_done += 1
+        self._run_next()
+
+
+class RpcServer:
+    """Callee side: dispatches named methods over one connection.
+
+    A server typically serves many clients, each over its own
+    connection; create one RpcServer per connection sharing the same
+    handler registry via :meth:`clone_for`.
+    """
+
+    def __init__(self, sim: Simulator, connection: Connection, *,
+                 chunk_size: int = 8192,
+                 service_time: float = 0.0,
+                 processor: Optional["SharedProcessor"] = None) -> None:
+        self.sim = sim
+        self.connection = connection
+        self.chunk_size = chunk_size
+        #: fixed per-request processing delay (models server CPU/disk);
+        #: ignored when a shared processor serialises requests instead
+        self.service_time = service_time
+        self.processor = processor
+        self._handlers: Dict[str, Handler] = {}
+        self._stream_handlers: Dict[str, StreamHandler] = {}
+        self.requests_served = 0
+        connection.on_message = self._on_message
+
+    def register(self, method: str, handler: Handler) -> None:
+        self._handlers[method] = handler
+
+    def register_stream(self, method: str, handler: StreamHandler) -> None:
+        self._stream_handlers[method] = handler
+
+    def clone_for(self, connection: Connection) -> "RpcServer":
+        """A new server endpoint sharing this one's handler registry."""
+        twin = RpcServer(self.sim, connection, chunk_size=self.chunk_size,
+                         service_time=self.service_time,
+                         processor=self.processor)
+        twin._handlers = self._handlers
+        twin._stream_handlers = self._stream_handlers
+        return twin
+
+    def _on_message(self, msg: Message) -> None:
+        if msg.type is not MessageType.REQUEST:
+            return
+        try:
+            envelope = load_value(msg.body)
+            method = envelope["method"]
+            params = envelope.get("params")
+        except Exception:
+            self.connection.send(Message(
+                type=MessageType.ERROR, corr_id=msg.corr_id,
+                body=dump_value("malformed request")))
+            return
+        if self.processor is not None:
+            self.processor.submit(
+                lambda: self._dispatch(method, params, msg.corr_id))
+        else:
+            self.sim.schedule(self.service_time, self._dispatch,
+                              method, params, msg.corr_id)
+
+    def _dispatch(self, method: str, params: Any, corr_id: int) -> None:
+        self.requests_served += 1
+        if method in self._stream_handlers:
+            try:
+                chunks = self._stream_handlers[method](params)
+            except Exception as exc:
+                self.connection.send(Message(
+                    type=MessageType.ERROR, corr_id=corr_id,
+                    body=dump_value(str(exc))))
+                return
+            for chunk in chunks:
+                for i in range(0, len(chunk), self.chunk_size):
+                    self.connection.send(Message(
+                        type=MessageType.STREAM_DATA, corr_id=corr_id,
+                        body=bytes(chunk[i:i + self.chunk_size])))
+            self.connection.send(Message(type=MessageType.STREAM_END,
+                                         corr_id=corr_id))
+            return
+        handler = self._handlers.get(method)
+        if handler is None:
+            self.connection.send(Message(
+                type=MessageType.ERROR, corr_id=corr_id,
+                body=dump_value(f"unknown method {method!r}")))
+            return
+        try:
+            result = handler(params)
+        except RpcError as exc:
+            self.connection.send(Message(
+                type=MessageType.ERROR, corr_id=corr_id,
+                body=dump_value(exc.reason)))
+            return
+        except Exception as exc:
+            self.connection.send(Message(
+                type=MessageType.ERROR, corr_id=corr_id,
+                body=dump_value(f"internal error: {exc}")))
+            return
+        self.connection.send(Message(type=MessageType.RESPONSE,
+                                     corr_id=corr_id,
+                                     body=dump_value(result)))

@@ -1,0 +1,151 @@
+"""Self-describing binary encoding for request/response bodies.
+
+A small tagged format (one tag byte, big-endian lengths) covering the
+value types MITS messages need: None, bool, int, float, bytes, str,
+list, and str-keyed dict.  It is *not* the MHEG interchange encoding —
+MHEG objects travel as ASN.1 produced by :mod:`repro.mheg.codec`; this
+format frames the control plane around them (method names, object
+ids, query parameters, and opaque ASN.1 blobs as ``bytes``).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from repro.util.errors import DecodingError, EncodingError
+
+_T_NONE = 0x00
+_T_TRUE = 0x01
+_T_FALSE = 0x02
+_T_INT = 0x03
+_T_FLOAT = 0x04
+_T_BYTES = 0x05
+_T_STR = 0x06
+_T_LIST = 0x07
+_T_DICT = 0x08
+
+#: recursion guard: no real MITS message nests this deep
+_MAX_DEPTH = 32
+
+
+def dump_value(value: Any) -> bytes:
+    """Encode *value* to bytes.  Raises EncodingError for alien types."""
+    out = bytearray()
+    _encode(value, out, 0)
+    return bytes(out)
+
+
+def _encode(value: Any, out: bytearray, depth: int) -> None:
+    if depth > _MAX_DEPTH:
+        raise EncodingError("value nests too deeply to encode")
+    if value is None:
+        out.append(_T_NONE)
+    elif value is True:
+        out.append(_T_TRUE)
+    elif value is False:
+        out.append(_T_FALSE)
+    elif isinstance(value, int):
+        raw = value.to_bytes((value.bit_length() + 8) // 8 or 1,
+                             "big", signed=True)
+        out.append(_T_INT)
+        out.extend(struct.pack(">I", len(raw)))
+        out.extend(raw)
+    elif isinstance(value, float):
+        out.append(_T_FLOAT)
+        out.extend(struct.pack(">d", value))
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        data = bytes(value)
+        out.append(_T_BYTES)
+        out.extend(struct.pack(">I", len(data)))
+        out.extend(data)
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        out.append(_T_STR)
+        out.extend(struct.pack(">I", len(data)))
+        out.extend(data)
+    elif isinstance(value, (list, tuple)):
+        out.append(_T_LIST)
+        out.extend(struct.pack(">I", len(value)))
+        for item in value:
+            _encode(item, out, depth + 1)
+    elif isinstance(value, dict):
+        out.append(_T_DICT)
+        out.extend(struct.pack(">I", len(value)))
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise EncodingError(
+                    f"dict keys must be str, got {type(key).__name__}")
+            _encode(key, out, depth + 1)
+            _encode(item, out, depth + 1)
+    else:
+        raise EncodingError(f"cannot encode {type(value).__name__}")
+
+
+def load_value(data: bytes) -> Any:
+    """Decode bytes produced by :func:`dump_value`."""
+    value, pos = _decode(data, 0, 0)
+    if pos != len(data):
+        raise DecodingError(f"{len(data) - pos} trailing bytes after value")
+    return value
+
+
+def _read_len(data: bytes, pos: int) -> tuple[int, int]:
+    if pos + 4 > len(data):
+        raise DecodingError("truncated length field")
+    return struct.unpack_from(">I", data, pos)[0], pos + 4
+
+
+def _decode(data: bytes, pos: int, depth: int) -> tuple[Any, int]:
+    if depth > _MAX_DEPTH:
+        raise DecodingError("value nests too deeply to decode")
+    if pos >= len(data):
+        raise DecodingError("truncated value")
+    tag = data[pos]
+    pos += 1
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_TRUE:
+        return True, pos
+    if tag == _T_FALSE:
+        return False, pos
+    if tag == _T_INT:
+        n, pos = _read_len(data, pos)
+        if pos + n > len(data):
+            raise DecodingError("truncated int")
+        return int.from_bytes(data[pos:pos + n], "big", signed=True), pos + n
+    if tag == _T_FLOAT:
+        if pos + 8 > len(data):
+            raise DecodingError("truncated float")
+        return struct.unpack_from(">d", data, pos)[0], pos + 8
+    if tag == _T_BYTES:
+        n, pos = _read_len(data, pos)
+        if pos + n > len(data):
+            raise DecodingError("truncated bytes")
+        return data[pos:pos + n], pos + n
+    if tag == _T_STR:
+        n, pos = _read_len(data, pos)
+        if pos + n > len(data):
+            raise DecodingError("truncated str")
+        try:
+            return data[pos:pos + n].decode("utf-8"), pos + n
+        except UnicodeDecodeError as exc:
+            raise DecodingError(f"invalid utf-8 in str: {exc}") from exc
+    if tag == _T_LIST:
+        n, pos = _read_len(data, pos)
+        items = []
+        for _ in range(n):
+            item, pos = _decode(data, pos, depth + 1)
+            items.append(item)
+        return items, pos
+    if tag == _T_DICT:
+        n, pos = _read_len(data, pos)
+        result = {}
+        for _ in range(n):
+            key, pos = _decode(data, pos, depth + 1)
+            if not isinstance(key, str):
+                raise DecodingError("dict key is not a str")
+            value, pos = _decode(data, pos, depth + 1)
+            result[key] = value
+        return result, pos
+    raise DecodingError(f"unknown wire tag 0x{tag:02x}")

@@ -1,0 +1,99 @@
+"""Bit-level reader/writer.
+
+The ATM cell header packs fields at sub-byte granularity (GFC is 4
+bits, VPI 8, VCI 16, PTI 3, CLP 1) and the synthetic media codecs use
+variable-length codes, so both need a small big-endian bit stream.
+"""
+
+from __future__ import annotations
+
+from repro.util.errors import DecodingError
+
+
+class BitWriter:
+    """Accumulates bits most-significant-first and renders them to bytes."""
+
+    def __init__(self) -> None:
+        self._bytes = bytearray()
+        self._bitpos = 0  # bits already used in the last byte (0..7)
+
+    def __len__(self) -> int:
+        """Total number of bits written so far."""
+        return len(self._bytes) * 8 - ((8 - self._bitpos) % 8)
+
+    def write(self, value: int, nbits: int) -> None:
+        """Append the *nbits* low-order bits of *value*, MSB first."""
+        if nbits < 0:
+            raise ValueError("nbits must be non-negative")
+        if value < 0 or (nbits < value.bit_length()):
+            raise ValueError(f"value {value} does not fit in {nbits} bits")
+        for shift in range(nbits - 1, -1, -1):
+            bit = (value >> shift) & 1
+            if self._bitpos == 0:
+                self._bytes.append(0)
+            if bit:
+                self._bytes[-1] |= 1 << (7 - self._bitpos)
+            self._bitpos = (self._bitpos + 1) % 8
+
+    def write_bytes(self, data: bytes) -> None:
+        """Append whole bytes.  Fast path when byte-aligned."""
+        if self._bitpos == 0:
+            self._bytes.extend(data)
+        else:
+            for b in data:
+                self.write(b, 8)
+
+    def align(self) -> None:
+        """Pad with zero bits to the next byte boundary."""
+        self._bitpos = 0
+
+    def getvalue(self) -> bytes:
+        """Return the written bits as bytes (zero-padded to a boundary)."""
+        return bytes(self._bytes)
+
+
+class BitReader:
+    """Reads bits most-significant-first from a byte string."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0  # absolute bit position
+
+    @property
+    def bits_remaining(self) -> int:
+        return len(self._data) * 8 - self._pos
+
+    def read(self, nbits: int) -> int:
+        """Read *nbits* bits as an unsigned integer."""
+        if nbits < 0:
+            raise ValueError("nbits must be non-negative")
+        if nbits > self.bits_remaining:
+            raise DecodingError(
+                f"bit stream exhausted: wanted {nbits} bits, "
+                f"have {self.bits_remaining}"
+            )
+        value = 0
+        pos = self._pos
+        for _ in range(nbits):
+            byte = self._data[pos >> 3]
+            bit = (byte >> (7 - (pos & 7))) & 1
+            value = (value << 1) | bit
+            pos += 1
+        self._pos = pos
+        return value
+
+    def read_bytes(self, n: int) -> bytes:
+        """Read *n* whole bytes.  Fast path when byte-aligned."""
+        if self._pos % 8 == 0:
+            start = self._pos >> 3
+            if start + n > len(self._data):
+                raise DecodingError("bit stream exhausted reading bytes")
+            self._pos += n * 8
+            return self._data[start : start + n]
+        return bytes(self.read(8) for _ in range(n))
+
+    def align(self) -> None:
+        """Skip to the next byte boundary."""
+        rem = self._pos % 8
+        if rem:
+            self._pos += 8 - rem

@@ -1,0 +1,37 @@
+"""Common exception hierarchy for the MITS reproduction.
+
+Every subsystem raises subclasses of :class:`ReproError` so callers can
+catch domain failures without catching programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class EncodingError(ReproError):
+    """Raised when a value cannot be encoded (ASN.1, media codec, cell)."""
+
+
+class DecodingError(ReproError):
+    """Raised when a byte stream cannot be decoded back into a value."""
+
+
+class NetworkError(ReproError):
+    """Raised by the ATM substrate and transport layer (VC setup failure,
+    unroutable destination, connection teardown, delivery timeout)."""
+
+
+class DatabaseError(ReproError):
+    """Raised by the courseware database (unknown object, transaction
+    conflict, constraint violation)."""
+
+
+class AuthoringError(ReproError):
+    """Raised by the authoring environment (inconsistent document
+    structure, unresolvable reference, invalid template parameters)."""
+
+
+class PresentationError(ReproError):
+    """Raised by the MHEG engine and the navigator (invalid object state
+    transition, unknown run-time object, unprepared content)."""

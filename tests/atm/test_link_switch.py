@@ -1,0 +1,172 @@
+"""Tests for links and switches."""
+
+import pytest
+
+from repro.atm.cell import Cell, CellHeader
+from repro.atm.link import Link
+from repro.atm.qos import ServiceCategory, TrafficContract, UsageParameterControl
+from repro.atm.simulator import Simulator
+from repro.atm.switch import Switch, VcTableEntry
+
+
+def make_cell(vci=32, clp=0, seqno=0):
+    return Cell(header=CellHeader(vpi=0, vci=vci, clp=clp),
+                payload=bytes(48), seqno=seqno)
+
+
+class TestLink:
+    def test_serialization_and_propagation_delay(self):
+        sim = Simulator()
+        arrivals = []
+        link = Link(sim, rate_bps=424e3, prop_delay=0.5)  # 1 ms/cell
+        link.sink = lambda c: arrivals.append(sim.now)
+        link.enqueue(make_cell())
+        sim.run()
+        assert arrivals == [pytest.approx(0.001 + 0.5)]
+
+    def test_cells_serialize_back_to_back(self):
+        sim = Simulator()
+        arrivals = []
+        link = Link(sim, rate_bps=424e3, prop_delay=0.0)
+        link.sink = lambda c: arrivals.append(sim.now)
+        for i in range(3):
+            link.enqueue(make_cell(seqno=i))
+        sim.run()
+        assert arrivals == [pytest.approx(0.001 * (i + 1)) for i in range(3)]
+
+    def test_buffer_overflow_drops(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=424e3, buffer_cells=4)
+        link.sink = lambda c: None
+        accepted = sum(link.enqueue(make_cell(seqno=i)) for i in range(10))
+        # 1 in flight + 4 buffered
+        assert accepted == 5
+        assert link.stats.dropped_overflow == 5
+
+    def test_priority_order(self):
+        sim = Simulator()
+        order = []
+        link = Link(sim, rate_bps=424e3)
+        link.sink = lambda c: order.append(c.seqno)
+        # enqueue UBR first, then CBR while the first cell transmits
+        link.enqueue(make_cell(seqno=0), ServiceCategory.UBR)   # in flight
+        link.enqueue(make_cell(seqno=1), ServiceCategory.UBR)
+        link.enqueue(make_cell(seqno=2), ServiceCategory.CBR)
+        sim.run()
+        assert order == [0, 2, 1]
+
+    def test_overflow_sheds_lower_priority_for_cbr(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=424e3, buffer_cells=2)
+        link.sink = lambda c: None
+        link.enqueue(make_cell(seqno=0), ServiceCategory.UBR)  # in flight
+        link.enqueue(make_cell(seqno=1), ServiceCategory.UBR)
+        link.enqueue(make_cell(seqno=2), ServiceCategory.UBR)  # buffer full
+        assert link.enqueue(make_cell(seqno=3), ServiceCategory.CBR) is True
+        assert link.stats.dropped_overflow == 1
+
+    def test_clp_tagged_shed_first(self):
+        sim = Simulator()
+        delivered = []
+        link = Link(sim, rate_bps=424e3, buffer_cells=2)
+        link.sink = lambda c: delivered.append(c.seqno)
+        link.enqueue(make_cell(seqno=0), ServiceCategory.UBR)          # in flight
+        link.enqueue(make_cell(seqno=1, clp=0), ServiceCategory.UBR)
+        link.enqueue(make_cell(seqno=2, clp=1), ServiceCategory.UBR)   # tagged
+        link.enqueue(make_cell(seqno=3), ServiceCategory.CBR)          # displaces
+        sim.run()
+        assert 2 not in delivered
+        assert 1 in delivered
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Link(sim, rate_bps=0)
+        with pytest.raises(ValueError):
+            Link(sim, rate_bps=1e6, buffer_cells=0)
+
+    def test_utilization(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=424e3, prop_delay=0.0)
+        link.sink = lambda c: None
+        link.enqueue(make_cell())
+        sim.run(until=0.002)
+        assert link.utilization() == pytest.approx(0.5)
+
+
+class TestSwitch:
+    def _wired(self, sim):
+        sw = Switch(sim, "sw", switching_delay=0.0)
+        out = Link(sim, rate_bps=424e3, prop_delay=0.0)
+        delivered = []
+        out.sink = lambda c: delivered.append(c)
+        sw.attach_output("east", out)
+        return sw, delivered
+
+    def test_label_swap(self):
+        sim = Simulator()
+        sw, delivered = self._wired(sim)
+        sw.install_route("west", 0, 32, VcTableEntry("east", 0, 77))
+        sw.receive(make_cell(vci=32), "west")
+        sim.run()
+        assert len(delivered) == 1
+        assert delivered[0].header.vci == 77
+        assert delivered[0].hops == 1
+
+    def test_unroutable_dropped(self):
+        sim = Simulator()
+        sw, delivered = self._wired(sim)
+        sw.receive(make_cell(vci=99), "west")
+        sim.run()
+        assert delivered == []
+        assert sw.stats.unroutable == 1
+
+    def test_duplicate_route_rejected(self):
+        sim = Simulator()
+        sw, _ = self._wired(sim)
+        sw.install_route("west", 0, 32, VcTableEntry("east", 0, 77))
+        with pytest.raises(ValueError):
+            sw.install_route("west", 0, 32, VcTableEntry("east", 0, 78))
+
+    def test_route_to_unknown_port_rejected(self):
+        sim = Simulator()
+        sw, _ = self._wired(sim)
+        with pytest.raises(ValueError):
+            sw.install_route("west", 0, 32, VcTableEntry("nowhere", 0, 77))
+
+    def test_upc_drop_at_ingress(self):
+        sim = Simulator()
+        sw, delivered = self._wired(sim)
+        contract = TrafficContract(ServiceCategory.CBR, pcr=100, cdvt=0.0)
+        sw.install_route("west", 0, 32,
+                         VcTableEntry("east", 0, 77,
+                                      upc=UsageParameterControl(contract)))
+        sw.receive(make_cell(vci=32), "west")
+        sw.receive(make_cell(vci=32), "west")  # same instant: PCR violation
+        sim.run()
+        assert len(delivered) == 1
+        assert sw.stats.policed_dropped == 1
+
+    def test_upc_tagging_sets_clp(self):
+        sim = Simulator()
+        sw, delivered = self._wired(sim)
+        contract = TrafficContract(ServiceCategory.RT_VBR, pcr=1e6, scr=100,
+                                   mbs=1, cdvt=0.0)
+        sw.install_route("west", 0, 32,
+                         VcTableEntry("east", 0, 77,
+                                      upc=UsageParameterControl(contract)))
+        sw.receive(make_cell(vci=32), "west")
+        sim.schedule(0.0001, sw.receive, make_cell(vci=32), "west")
+        sim.run()
+        assert len(delivered) == 2
+        assert delivered[0].header.clp == 0
+        assert delivered[1].header.clp == 1
+
+    def test_remove_route(self):
+        sim = Simulator()
+        sw, delivered = self._wired(sim)
+        sw.install_route("west", 0, 32, VcTableEntry("east", 0, 77))
+        sw.remove_route("west", 0, 32)
+        sw.receive(make_cell(vci=32), "west")
+        sim.run()
+        assert delivered == []

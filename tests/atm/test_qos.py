@@ -1,0 +1,116 @@
+"""Tests for traffic contracts, GCRA policing and shaping."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.atm.qos import (
+    Gcra, LeakyBucketShaper, ServiceCategory, TrafficContract,
+    UsageParameterControl,
+)
+
+
+class TestTrafficContract:
+    def test_pcr_required_positive(self):
+        with pytest.raises(ValueError):
+            TrafficContract(ServiceCategory.CBR, pcr=0)
+
+    def test_scr_must_not_exceed_pcr(self):
+        with pytest.raises(ValueError):
+            TrafficContract(ServiceCategory.RT_VBR, pcr=100, scr=200)
+
+    def test_burst_tolerance_zero_without_scr(self):
+        c = TrafficContract(ServiceCategory.CBR, pcr=1000)
+        assert c.burst_tolerance == 0.0
+
+    def test_burst_tolerance_formula(self):
+        c = TrafficContract(ServiceCategory.RT_VBR, pcr=200, scr=100, mbs=11)
+        assert c.burst_tolerance == pytest.approx(10 * (1 / 100 - 1 / 200))
+
+    def test_effective_bandwidth_by_category(self):
+        cbr = TrafficContract(ServiceCategory.CBR, pcr=1000)
+        vbr = TrafficContract(ServiceCategory.NRT_VBR, pcr=1000, scr=400, mbs=10)
+        ubr = TrafficContract(ServiceCategory.UBR, pcr=1000)
+        assert cbr.effective_bandwidth_bps() == 1000 * 424
+        assert vbr.effective_bandwidth_bps() == 400 * 424
+        assert ubr.effective_bandwidth_bps() == 0.0
+
+
+class TestGcra:
+    def test_conforming_stream_passes(self):
+        g = Gcra(increment=0.01, limit=0.0)
+        for i in range(100):
+            assert g.check(i * 0.01)
+        assert g.nonconforming == 0
+
+    def test_too_fast_stream_rejected(self):
+        g = Gcra(increment=0.01, limit=0.0)
+        assert g.check(0.0)
+        assert not g.check(0.001)  # way before next TAT
+
+    def test_limit_allows_jitter(self):
+        g = Gcra(increment=0.01, limit=0.002)
+        assert g.check(0.0)
+        assert g.check(0.0085)  # 1.5 ms early, inside tolerance
+
+    def test_idle_time_restores_credit(self):
+        g = Gcra(increment=0.01, limit=0.0)
+        assert g.check(0.0)
+        assert g.check(5.0)  # long idle, TAT in the past
+        assert g.check(5.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Gcra(increment=0, limit=0)
+        with pytest.raises(ValueError):
+            Gcra(increment=1, limit=-1)
+
+
+class TestShaperConformance:
+    """The leaky-bucket shaper must emit a stream its own UPC accepts."""
+
+    @given(pcr=st.floats(1e3, 1e6), ratio=st.floats(0.1, 1.0),
+           mbs=st.integers(1, 200), n=st.integers(1, 300))
+    @settings(max_examples=40)
+    def test_shaped_stream_always_conforms(self, pcr, ratio, mbs, n):
+        scr = pcr * ratio
+        contract = TrafficContract(ServiceCategory.RT_VBR, pcr=pcr, scr=scr, mbs=mbs)
+        shaper = LeakyBucketShaper(contract)
+        upc = UsageParameterControl(contract)
+        t = 0.0
+        for _ in range(n):
+            t = shaper.next_departure(t)
+            assert upc.police(t) == "pass"
+
+    def test_greedy_source_gets_burst_then_scr(self):
+        contract = TrafficContract(ServiceCategory.NRT_VBR, pcr=1000, scr=100, mbs=50)
+        shaper = LeakyBucketShaper(contract)
+        times = [shaper.next_departure(0.0) for _ in range(200)]
+        # early cells at PCR spacing, tail at SCR spacing
+        head_gap = times[1] - times[0]
+        tail_gap = times[-1] - times[-2]
+        assert head_gap == pytest.approx(1 / 1000)
+        assert tail_gap == pytest.approx(1 / 100, rel=0.01)
+
+
+class TestUpc:
+    def test_pcr_violation_dropped(self):
+        contract = TrafficContract(ServiceCategory.CBR, pcr=100, cdvt=0.0)
+        upc = UsageParameterControl(contract)
+        assert upc.police(0.0) == "pass"
+        assert upc.police(0.0001) == "drop"
+
+    def test_scr_violation_tagged(self):
+        contract = TrafficContract(ServiceCategory.RT_VBR, pcr=10000, scr=100,
+                                   mbs=1, cdvt=0.0)
+        upc = UsageParameterControl(contract)
+        assert upc.police(0.0) == "pass"
+        # conforms to PCR (0.1 ms gap ok) but violates SCR
+        assert upc.police(0.001) == "tag"
+
+    def test_stats_accumulate(self):
+        contract = TrafficContract(ServiceCategory.CBR, pcr=100, cdvt=0.0)
+        upc = UsageParameterControl(contract)
+        upc.police(0.0)
+        upc.police(0.0)
+        assert upc.stats.passed == 1
+        assert upc.stats.dropped == 1

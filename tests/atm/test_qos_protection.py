@@ -1,0 +1,97 @@
+"""Integration tests: ATM QoS machinery protecting well-behaved flows.
+
+The thesis's broadband case rests on ATM giving real-time media
+predictable service; these tests verify the mechanisms that make that
+true in the simulator: priority queueing, UPC policing, and admission
+control acting together.
+"""
+
+import statistics
+
+import pytest
+
+from repro.atm import ServiceCategory, Simulator, TrafficContract
+from repro.atm.network import AtmNetwork
+from repro.atm.topology import star_campus
+
+
+def build_contended(access_bps=5e6, buffer_cells=64):
+    """Two sources converge on one destination access link."""
+    sim = Simulator()
+    net, _ = star_campus(sim, ["cbr-src", "rogue-src", "sink"],
+                         access_bps=access_bps, buffer_cells=buffer_cells)
+    return sim, net
+
+
+class TestPriorityProtection:
+    def test_cbr_unharmed_by_rogue_ubr(self):
+        sim, net = build_contended()
+        cbr_got, ubr_got = [], []
+        cbr = net.open_vc("cbr-src", "sink",
+                          TrafficContract(ServiceCategory.CBR, pcr=1000),
+                          lambda p, i: cbr_got.append(i.delay))
+        rogue = net.open_vc("rogue-src", "sink",
+                            TrafficContract(ServiceCategory.UBR,
+                                            pcr=5e6 / 424),
+                            lambda p, i: ubr_got.append(i.delay))
+
+        def cbr_source():
+            while True:
+                cbr.send(bytes(400))
+                yield 0.02
+
+        def rogue_source():
+            while True:
+                rogue.send(bytes(20000))
+                yield 0.01  # ~16 Mb/s offered onto a 5 Mb/s link
+
+        sim.spawn(cbr_source())
+        sim.spawn(rogue_source())
+        sim.run(until=2.0)
+        # every CBR PDU delivered despite the overload
+        assert cbr.stats.pdus_sent > 50
+        assert cbr.stats.pdus_delivered == cbr.stats.pdus_sent
+        # and with low, stable delay (priority queueing at the switch)
+        assert statistics.mean(cbr_got) < 0.01
+        # the rogue lost traffic (its frames overflowed the buffer)
+        assert rogue.stats.pdus_delivered < rogue.stats.pdus_sent
+
+    def test_upc_drops_contract_violations_at_ingress(self):
+        sim, net = build_contended()
+        got = []
+        # a source that promises 100 cells/s but blasts much faster;
+        # bypass the shaper by sending many PDUs back to back
+        vc = net.open_vc("cbr-src", "sink",
+                         TrafficContract(ServiceCategory.CBR, pcr=100,
+                                         cdvt=0.0),
+                         lambda p, i: got.append(i))
+        # defeat the conformant shaper deliberately: rewire to inject
+        # cells directly at line rate
+        from repro.atm.aal5 import segment_pdu
+        host = net.hosts["cbr-src"]
+        for seq in range(50):
+            for cell in segment_pdu(bytes(40), vpi=0, vci=vc.first_vci,
+                                    first_seqno=seq * 10):
+                host.uplink.enqueue(cell, ServiceCategory.CBR)
+        sim.run(until=2.0)
+        sw = net.switches["sw0"]
+        assert sw.stats.policed_dropped > 0
+        # only a conforming trickle got through
+        assert len(got) < 5
+
+    def test_admission_control_protects_reservations(self):
+        sim, net = build_contended(access_bps=2e6)
+        # first CBR reservation takes most of the sink's downlink
+        net.open_vc("cbr-src", "sink",
+                    TrafficContract(ServiceCategory.CBR, pcr=4000),
+                    lambda p, i: None)
+        # second equal reservation no longer fits (0.9 utilization cap)
+        from repro.util.errors import NetworkError
+        with pytest.raises(NetworkError):
+            net.open_vc("rogue-src", "sink",
+                        TrafficContract(ServiceCategory.CBR, pcr=4000),
+                        lambda p, i: None)
+        # but best-effort is always admitted
+        net.open_vc("rogue-src", "sink",
+                    TrafficContract(ServiceCategory.UBR, pcr=4000),
+                    lambda p, i: None)

@@ -1,0 +1,154 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.atm.simulator import Simulator, run_all
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, order.append, "b")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(3.0, order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_among_equal_timestamps(self):
+        sim = Simulator()
+        order = []
+        for tag in range(5):
+            sim.schedule(1.0, order.append, tag)
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.5]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_run_until_stops_before_future_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, 1)
+        end = sim.run(until=1.0)
+        assert fired == [] and end == 1.0 and sim.now == 1.0
+        sim.run(until=10.0)
+        assert fired == [1]
+
+    def test_run_until_advances_clock_even_when_idle(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(1.0, fired.append, 1)
+        ev.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_events_scheduled_during_run(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(1.0, order.append, "second")
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert order == ["first", "second"]
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        seen = []
+        sim.schedule_at(3.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [3.0]
+
+    def test_step_runs_single_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(2.0, fired.append, 2)
+        assert sim.step() is True
+        assert fired == [1]
+        assert sim.step() is True
+        assert sim.step() is False
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i), fired.append, i)
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+
+class TestProcess:
+    def test_process_yields_delays(self):
+        sim = Simulator()
+        times = []
+
+        def proc():
+            times.append(sim.now)
+            yield 1.0
+            times.append(sim.now)
+            yield 2.0
+            times.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert times == [0.0, 1.0, 3.0]
+
+    def test_process_kill_stops_it(self):
+        sim = Simulator()
+        ticks = []
+
+        def proc():
+            while True:
+                ticks.append(sim.now)
+                yield 1.0
+
+        p = sim.spawn(proc())
+        sim.run(until=2.5)
+        p.kill()
+        sim.run(until=10.0)
+        assert p.alive is False
+        assert len(ticks) == 3  # t=0, 1, 2
+
+    def test_process_finishes_naturally(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1.0
+
+        p = sim.spawn(proc())
+        assert p.alive
+        sim.run()
+        assert not p.alive
+
+    def test_run_all_helper(self):
+        sim = Simulator()
+        out = []
+
+        def make(tag):
+            def proc():
+                yield tag * 1.0
+                out.append(tag)
+            return proc()
+
+        run_all(sim, [make(2), make(1)])
+        assert out == [1, 2]

@@ -1,0 +1,250 @@
+"""Integration tests: the full MITS deployment end to end (Ch. 3+5)."""
+
+import pytest
+
+from repro.authoring import (
+    HyperDocument, InteractiveDocument, NavigationLink, Page, PageItem,
+    Scene, SceneObject, Section, TimelineEntry,
+)
+from repro.core import MitsSystem
+from repro.navigator.navigator import NavigatorState
+from repro.school.exercise import Exercise, MultipleChoiceQuestion
+from repro.util.errors import PresentationError
+
+
+def deploy(topology="star"):
+    """Standard deployment: assets produced, one course published."""
+    mits = MitsSystem(topology=topology)
+    assets = mits.produce_standard_assets("atm", seconds=1.0)
+    author = mits.add_author(
+        "author1" if topology == "star" else "author1", "atm-101",
+        catalog=assets)
+    scene = Scene(name="intro", objects=[
+        SceneObject(name="clip", kind="video",
+                    content_ref="atm-intro-video"),
+        SceneObject(name="notes", kind="text", content_ref="atm-notes",
+                    position=(0, 200)),
+        SceneObject(name="skip", kind="choice", label="Skip")])
+    scene.timeline.add(TimelineEntry("clip", 0.0))
+    scene.timeline.add(TimelineEntry("notes", 0.0, 1.0))
+    scene.behavior.when_selected("skip", ("stop", "clip"))
+    doc = InteractiveDocument("atm-101", title="ATM Networks")
+    doc.add_section(Section(name="s1", scenes=[scene]))
+    compiled = author.editor.compile_imd(doc)
+    mits.wait(author.publish_courseware(
+        compiled, courseware_id="atm-101", title="ATM Networks",
+        program="networking", keywords=["networks/atm", "broadband"],
+        introduction_ref="atm-intro-video", author="prof"))
+    mits.wait(author.publish_course(
+        course_code="ELG5376", name="ATM Networks", program="networking",
+        courseware_id="atm-101"))
+    mits.wait(author.publish_library_doc(
+        doc_id="lib-atm", title="ATM notes", media_kind="text",
+        content_ref="atm-notes", keywords=["networks/atm"]))
+    return mits
+
+
+class TestDeployment:
+    def test_production_publishes_to_database(self):
+        mits = deploy()
+        stats = mits.database.db.statistics()
+        assert stats["content_objects"] == 4
+        assert stats["courseware"] == 1
+        assert stats["courses"] == 1
+
+    def test_snapshot_lists_sites(self):
+        mits = deploy()
+        snap = mits.snapshot()
+        assert snap["sites"]["database"] == "database"
+        assert "author1" in snap["sites"]["authors"]
+
+    def test_courseware_keywords_indexed(self):
+        mits = deploy()
+        assert mits.database.db.docs_by_keyword("broadband") == ["atm-101"]
+
+
+class TestSampleLearningSession:
+    """The §5.4 walkthrough, over the simulated network."""
+
+    def test_full_session(self):
+        mits = deploy()
+        user = mits.add_user("user1")
+        nav = user.navigator
+
+        # Fig 5.3: entry screen
+        entry = nav.start()
+        assert entry["video"] == "welcome"
+        assert nav.state is NavigatorState.ENTRY
+
+        # Fig 5.4: registration
+        done = []
+        nav.register("Ada Lovelace", "1 Loop Rd", "ada@mirl.example",
+                     on_done=done.append)
+        mits.sim.run(until=mits.sim.now + 5)
+        assert done and done[0]["student_number"].startswith("S")
+        assert nav.state is NavigatorState.MAIN
+
+        # Fig 5.4d: course registration with introduction video
+        programs = mits.wait(nav.list_programs())
+        assert programs == ["networking"]
+        courses = mits.wait(nav.list_courses("networking"))
+        assert courses[0]["course_code"] == "ELG5376"
+        summaries = mits.wait(nav.client.list_courseware("networking"))
+        intro_rx = nav.course_introduction(summaries[0]["introduction_ref"])
+        mits.sim.run(until=mits.sim.now + 20)
+        assert intro_rx.finished and len(intro_rx.data) > 0
+        mits.wait(nav.register_for_course("ELG5376"))
+
+        # Fig 5.5: classroom — interact the moment the session is ready
+        # (the demo course is only a second long)
+        interacted = []
+
+        def on_ready(sess):
+            assert "skip" in sess.presenter.clickable()
+            sess.click("skip")
+            sess.add_bookmark("notes")
+            interacted.append(True)
+
+        session = nav.enter_classroom("ELG5376", "atm-101",
+                                      on_ready=on_ready)
+        mits.sim.run(until=mits.sim.now + 30)
+        assert session.ready and interacted
+        position = nav.leave_classroom()
+        assert position > 0
+        mits.sim.run(until=mits.sim.now + 5)
+
+        # resume position persisted server-side
+        saved = mits.wait(nav.client.get_resume(
+            nav.student["student_number"], "atm-101"))
+        assert saved == pytest.approx(position)
+        marks = mits.wait(nav.client.get_bookmarks(
+            nav.student["student_number"], "atm-101"))
+        assert len(marks) == 1
+
+        # Fig 5.6: profile update
+        updated = []
+        nav.update_profile(address="2 New St", on_result=updated.append)
+        mits.sim.run(until=mits.sim.now + 5)
+        assert nav.student["address"] == "2 New St"
+
+        # Fig 5.7: library browsing with cross references
+        docs = mits.wait(nav.browse_library())
+        assert docs[0]["doc_id"] == "lib-atm"
+        read = []
+        nav.read_document("lib-atm", on_done=read.append)
+        mits.sim.run(until=mits.sim.now + 20)
+        assert read and read[0]["bytes"] > 0
+        assert "text" in read[0]
+
+        nav.exit()
+        assert nav.state is NavigatorState.ENTRY
+        assert ("classroom", "leave-classroom") not in nav.trace  # traced under MAIN
+
+    def test_login_with_existing_number(self):
+        mits = deploy()
+        user = mits.add_user("user1")
+        nav = user.navigator
+        nav.start()
+        done = []
+        nav.register("Bob", on_done=done.append)
+        mits.sim.run(until=mits.sim.now + 5)
+        number = done[0]["student_number"]
+        nav.exit()
+
+        nav.start()
+        back = []
+        nav.login(number, on_done=back.append)
+        mits.sim.run(until=mits.sim.now + 5)
+        assert back and back[0]["name"] == "Bob"
+
+    def test_login_unknown_number_fails(self):
+        mits = deploy()
+        nav = mits.add_user("user1").navigator
+        nav.start()
+        errors = []
+        nav.login("S9999", on_error=errors.append)
+        mits.sim.run(until=mits.sim.now + 5)
+        assert errors
+        assert nav.state is NavigatorState.ENTRY
+
+    def test_facilities_require_login(self):
+        mits = deploy()
+        nav = mits.add_user("user1").navigator
+        nav.start()
+        with pytest.raises(PresentationError):
+            nav.facilities()
+
+
+class TestSchoolFeatures:
+    def test_bulletin_and_exercise_flow(self):
+        mits = deploy()
+        service = mits.facilitator.service
+        service.exercises.add(Exercise(
+            exercise_id="ex1", course_code="ELG5376", title="Cells",
+            questions=[MultipleChoiceQuestion(
+                "ATM cell size?", ["48", "53", "64"], correct=1)]))
+        service.bulletin.post("school.announcements", "admin",
+                              "Welcome to MIRL TeleSchool", "enjoy")
+
+        nav = mits.add_user("user1").navigator
+        nav.start()
+        done = []
+        nav.register("Ada", on_done=done.append)
+        mits.sim.run(until=mits.sim.now + 5)
+
+        posts = mits.wait(nav.read_bulletin("school.announcements"))
+        assert posts[0]["subject"] == "Welcome to MIRL TeleSchool"
+
+        result = mits.wait(nav.take_exercise("ex1", [1]))
+        assert result["score"] == 1.0
+
+        standings = mits.wait(nav.school.standings("ex1"))
+        assert standings[0]["student_number"] == \
+            nav.student["student_number"]
+
+    def test_facilitator_q_and_a(self):
+        mits = deploy()
+        mits.facilitator.service.facilitator.teach(
+            ["atm", "cell"], "53 octets: 5 header + 48 payload")
+        nav = mits.add_user("user1").navigator
+        nav.start()
+        nav.register("Ada")
+        mits.sim.run(until=mits.sim.now + 5)
+        answer = mits.wait(nav.ask_facilitator("how big is an ATM cell?"))
+        assert answer["answered"] is True
+        unknown = mits.wait(nav.ask_facilitator("meaning of life?"))
+        assert unknown["answered"] is False
+        assert mits.facilitator.service.facilitator.pending
+
+    def test_conference_between_users(self):
+        mits = deploy()
+        nav1 = mits.add_user("user1").navigator
+        nav2 = mits.add_user("user2").navigator
+        for nav, name in ((nav1, "Ada"), (nav2, "Bob")):
+            nav.start()
+            nav.register(name)
+        mits.sim.run(until=mits.sim.now + 5)
+        s1 = nav1.student["student_number"]
+        s2 = nav2.student["student_number"]
+        mits.wait(nav1.school.join_conference("common-room", s1))
+        mits.wait(nav2.school.join_conference("common-room", s2))
+        mits.wait(nav1.school.say("common-room", s1, "anyone here?"))
+        transcript = mits.wait(nav2.school.transcript("common-room"))
+        assert transcript[-1]["body"] == "anyone here?"
+
+
+class TestWanDeployment:
+    def test_ocrinet_session(self):
+        mits = deploy(topology="ocrinet")
+        nav = mits.add_user("user9").navigator
+        nav.start()
+        done = []
+        nav.register("Remote Rita", on_done=done.append)
+        mits.sim.run(until=mits.sim.now + 10)
+        assert done
+        ready = []
+        session = nav.enter_classroom("ELG5376", "atm-101",
+                                      on_ready=ready.append)
+        mits.sim.run(until=mits.sim.now + 60)
+        assert session.ready
+        assert session.presenter.load_stats["bytes"] > 0

@@ -1,0 +1,181 @@
+"""Tests for the database facade and the networked client/server."""
+
+import pytest
+
+from repro.atm import ServiceCategory, Simulator, TrafficContract
+from repro.atm.topology import star_campus
+from repro.database.api import (
+    CoursewareDatabase, DatabaseClient, DatabaseServer, wait_for,
+)
+from repro.database.schema import (
+    ContentRecord, CourseRecord, CoursewareRecord, LibraryDocument,
+)
+from repro.transport.connection import connect_pair
+from repro.transport.rpc import RpcClient, RpcServer
+from repro.util.errors import DatabaseError
+
+
+def make_db():
+    db = CoursewareDatabase()
+    db.store_content(ContentRecord(content_ref="intro-video",
+                                   media_kind="video",
+                                   coding_method="SMPG",
+                                   data=b"V" * 5000))
+    db.store_courseware(CoursewareRecord(
+        courseware_id="atm-101", title="ATM Networks",
+        program="networking", container_blob=b"CONTAINER" * 10,
+        keywords=["networks/atm", "broadband"],
+        introduction_ref="intro-video"))
+    db.add_course(CourseRecord(course_code="ELG5376", name="ATM Networks",
+                               program="networking",
+                               courseware_id="atm-101"))
+    db.add_library_document(LibraryDocument(
+        doc_id="lib-1", title="ATM explained", media_kind="video",
+        content_ref="intro-video", keywords=["networks/atm"]))
+    return db
+
+
+class TestFacade:
+    def test_catalogue_roundtrip(self):
+        db = make_db()
+        assert db.get_courseware("atm-101").title == "ATM Networks"
+        assert db.list_courseware("networking")[0]["courseware_id"] == "atm-101"
+        assert db.list_courseware("cooking") == []
+
+    def test_versioning_on_update(self):
+        db = make_db()
+        db.store_courseware(CoursewareRecord(
+            courseware_id="atm-101", title="ATM v2", program="networking",
+            container_blob=b"NEW"))
+        assert db.get_courseware("atm-101").version == 2
+
+    def test_course_requires_courseware(self):
+        db = make_db()
+        with pytest.raises(DatabaseError):
+            db.add_course(CourseRecord(course_code="X", name="X",
+                                       program="p", courseware_id="ghost"))
+
+    def test_student_registration_flow(self):
+        db = make_db()
+        student = db.register_student("Ada", "1 Loop Rd", "ada@example.org")
+        assert student.student_number.startswith("S")
+        db.register_for_course(student.student_number, "ELG5376")
+        assert db.get_student(student.student_number).registered_courses == \
+            ["ELG5376"]
+        # idempotent
+        db.register_for_course(student.student_number, "ELG5376")
+        assert db.get_student(student.student_number) \
+            .find_number_of_course() == 1
+
+    def test_register_unknown_course_fails(self):
+        db = make_db()
+        s = db.register_student("Bob")
+        with pytest.raises(DatabaseError):
+            db.register_for_course(s.student_number, "GHOST")
+
+    def test_keyword_queries(self):
+        db = make_db()
+        assert db.docs_by_keyword("broadband") == ["atm-101"]
+        assert "networks" in [c["keyword"]
+                              for c in db.keyword_tree.subtree()["children"]]
+
+    def test_library_requires_content(self):
+        db = make_db()
+        with pytest.raises(DatabaseError):
+            db.add_library_document(LibraryDocument(
+                doc_id="x", title="x", media_kind="text",
+                content_ref="missing"))
+
+    def test_statistics(self):
+        db = make_db()
+        db.register_student("Ada")
+        stats = db.statistics()
+        assert stats["courseware"] == 1
+        assert stats["students"] == 1
+        assert stats["content_bytes"] == 5000
+
+
+def networked_db():
+    sim = Simulator()
+    net, _ = star_campus(sim, ["navigator", "database"])
+    contract = TrafficContract(ServiceCategory.NRT_VBR, pcr=300000,
+                               scr=150000, mbs=500)
+    cc, cs = connect_pair(sim, net, "navigator", "database", contract)
+    db = make_db()
+    DatabaseServer(db).attach(RpcServer(sim, cs))
+    client = DatabaseClient(RpcClient(sim, cc))
+    return sim, client, db
+
+
+class TestNetworkedAccess:
+    def test_get_list_doc(self):
+        sim, client, db = networked_db()
+        result = wait_for(sim, client.Get_List_Doc())
+        assert result == ["atm-101"]
+
+    def test_get_selected_doc_returns_blob(self):
+        sim, client, db = networked_db()
+        blob = wait_for(sim, client.Get_Selected_Doc("atm-101"))
+        assert blob == b"CONTAINER" * 10
+
+    def test_get_selected_doc_unknown_errors(self):
+        sim, client, db = networked_db()
+        with pytest.raises(Exception) as exc_info:
+            wait_for(sim, client.Get_Selected_Doc("ghost"))
+        assert "ghost" in str(exc_info.value)
+
+    def test_keyword_apis(self):
+        sim, client, db = networked_db()
+        tree = wait_for(sim, client.GetKeywordTree())
+        assert any(c["keyword"] == "broadband" for c in tree["children"])
+        docs = wait_for(sim, client.GetDocByKeyword("broadband"))
+        assert docs == ["atm-101"]
+
+    def test_registration_over_network(self):
+        sim, client, db = networked_db()
+        profile = wait_for(sim, client.register("Ada", "1 Loop Rd"))
+        number = profile["student_number"]
+        courses = wait_for(sim, client.register_for_course(number, "ELG5376"))
+        assert courses == ["ELG5376"]
+        student = wait_for(sim, client.get_student(number))
+        assert student["registered_courses"] == ["ELG5376"]
+
+    def test_profile_update(self):
+        sim, client, db = networked_db()
+        profile = wait_for(sim, client.register("Ada"))
+        updated = wait_for(sim, client.update_profile(
+            profile["student_number"], address="2 New St"))
+        assert updated["address"] == "2 New St"
+
+    def test_resume_position_roundtrip(self):
+        sim, client, db = networked_db()
+        profile = wait_for(sim, client.register("Ada"))
+        number = profile["student_number"]
+        wait_for(sim, client.save_resume(number, "atm-101", 73.5))
+        assert wait_for(sim, client.get_resume(number, "atm-101")) == 73.5
+        assert wait_for(sim, client.get_resume(number, "other")) == 0.0
+
+    def test_content_streaming(self):
+        sim, client, db = networked_db()
+        rx = client.get_content("intro-video")
+        sim.run(until=20.0)
+        assert rx.finished
+        assert rx.data == b"V" * 5000
+
+    def test_library_listing(self):
+        sim, client, db = networked_db()
+        docs = wait_for(sim, client.list_library())
+        assert docs[0]["doc_id"] == "lib-1"
+        doc = wait_for(sim, client.get_library_doc("lib-1"))
+        assert doc["content_ref"] == "intro-video"
+
+    def test_programs_and_courses(self):
+        sim, client, db = networked_db()
+        assert wait_for(sim, client.list_programs()) == ["networking"]
+        courses = wait_for(sim, client.list_courses("networking"))
+        assert courses[0]["course_code"] == "ELG5376"
+
+    def test_statistics_over_network(self):
+        sim, client, db = networked_db()
+        stats = wait_for(sim, client.statistics())
+        assert stats["courses"] == 1

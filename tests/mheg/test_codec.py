@@ -1,0 +1,156 @@
+"""Tests for the MHEG interchange codec (ASN.1 and SGML notations)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mheg import (
+    ActionClass, ActionVerb, AudioContentClass, CompositeClass,
+    ContainerClass, ContentClass, DescriptorClass, ElementaryAction,
+    GenericValueClass, ImageContentClass, LinkClass, MhegCodec,
+    MultiplexedContentClass, ScriptClass, Socket, SocketKind,
+)
+from repro.mheg.classes.behavior import ConditionKind, LinkCondition
+from repro.mheg.classes.content import StreamDescription
+from repro.mheg.classes.interchange import ResourceRequirement
+from repro.mheg.identifiers import MhegIdentifier, ref
+from repro.util.errors import DecodingError, EncodingError
+
+codec = MhegCodec()
+
+
+def mid(n):
+    return MhegIdentifier("app", n)
+
+
+def sample_objects():
+    """One representative instance of every interchanged class."""
+    content = ImageContentClass(
+        identifier=mid(1), content_hook="SIMG", data=b"\x00\x01binary\xff",
+        original_size=[128, 96], presentation={"position": [10, 20]})
+    referenced = AudioContentClass(
+        identifier=mid(2), content_hook="SPCM", content_ref="audio-7",
+        original_duration=3.5, original_volume=80)
+    mux = MultiplexedContentClass(
+        identifier=mid(3), content_hook="SMPG", content_ref="movie-1",
+        streams=[StreamDescription(1, "video", 1.5e6),
+                 StreamDescription(2, "audio", 64e3)])
+    value = GenericValueClass(identifier=mid(4), value={"score": 10})
+    action = ActionClass(identifier=mid(5), mode="serial", actions=[
+        ElementaryAction(ActionVerb.RUN, ref("app", 1, 1), delay=0.5),
+        ElementaryAction(ActionVerb.SET_VOLUME, ref("app", 2, 1),
+                         parameters={"value": 60})])
+    link = LinkClass(
+        identifier=mid(6),
+        trigger_conditions=[LinkCondition(ConditionKind.TRIGGER,
+                                          ref("app", 1), "selected", "==",
+                                          True)],
+        additional_conditions=[LinkCondition(ConditionKind.ADDITIONAL,
+                                             ref("app", 2), "presentation",
+                                             "==", "running")],
+        effect_ref=ref("app", 5), once=True)
+    script = ScriptClass(identifier=mid(7),
+                         source="new video app/1 as 1 on main\nrun app/1#1")
+    composite = CompositeClass(
+        identifier=mid(8), components=[ref("app", 1), ref("app", 2)],
+        sockets=[Socket("pic", SocketKind.PRESENTABLE, ref("app", 1))],
+        links=[ref("app", 6)],
+        sync_spec={"kind": "atomic", "mode": "serial",
+                   "first": "app/1", "second": "app/2"},
+        layout={"app/1": {"position": [0, 0], "size": [320, 240]}})
+    descriptor = DescriptorClass(
+        identifier=mid(9), described=[ref("app", 8)],
+        requirements=[ResourceRequirement("SIMG", storage_bytes=4096)],
+        readme="needs image decoder", total_size=4096)
+    return [content, referenced, mux, value, action, link, script,
+            composite, descriptor]
+
+
+class TestAsn1Roundtrip:
+    @pytest.mark.parametrize("obj", sample_objects(),
+                             ids=lambda o: type(o).__name__)
+    def test_roundtrip(self, obj):
+        assert codec.decode(codec.encode(obj)) == obj
+
+    def test_container_roundtrip_carries_objects(self):
+        objs = sample_objects()
+        cont = ContainerClass(identifier=mid(100), objects=objs)
+        back = codec.decode(codec.encode(cont))
+        assert back.objects == objs
+
+    def test_invalid_object_refused_at_encode(self):
+        bad = ContentClass(identifier=mid(1), content_hook="SIMG")
+        with pytest.raises(EncodingError):
+            codec.encode(bad)
+
+    def test_corruption_never_silently_accepted(self):
+        """A flipped bit either fails decoding or yields a visibly
+        different object — transport-level integrity (AAL5 CRC) guards
+        the rest; the codec must never return the original object from
+        corrupted bytes."""
+        original = sample_objects()[0]
+        clean = codec.encode(original)
+        for pos in range(0, len(clean), max(1, len(clean) // 16)):
+            data = bytearray(clean)
+            data[pos] ^= 0xFF
+            try:
+                back = codec.decode(bytes(data))
+            except (DecodingError, EncodingError):
+                continue
+            assert back != original
+
+    def test_truncation_detected(self):
+        data = codec.encode(sample_objects()[0])
+        with pytest.raises(DecodingError):
+            codec.decode(data[:-3])
+
+    def test_outer_tag_matches_class(self):
+        data = codec.encode(sample_objects()[3])  # GenericValueClass
+        # application class tag = ClassId.CONTENT = 1
+        assert data[0] & 0xC0 == 0x40  # application class
+        assert data[0] & 0x1F == 1
+
+    def test_plain_bytes_rejected(self):
+        with pytest.raises(DecodingError):
+            codec.decode(b"not ber at all")
+
+
+class TestSgmlRoundtrip:
+    @pytest.mark.parametrize("obj", sample_objects(),
+                             ids=lambda o: type(o).__name__)
+    def test_roundtrip(self, obj):
+        assert codec.from_sgml(codec.to_sgml(obj)) == obj
+
+    def test_sgml_escaping(self):
+        obj = GenericValueClass(identifier=mid(1),
+                                value='<tag attr="x & y">')
+        assert codec.from_sgml(codec.to_sgml(obj)) == obj
+
+    def test_sgml_binary_content(self):
+        obj = ImageContentClass(identifier=mid(1), content_hook="SIMG",
+                                data=bytes(range(256)))
+        assert codec.from_sgml(codec.to_sgml(obj)).data == bytes(range(256))
+
+    def test_not_sgml_rejected(self):
+        with pytest.raises(DecodingError):
+            codec.from_sgml("plain text")
+
+    def test_equivalence_of_notations(self):
+        """ASN.1 and SGML paths decode to identical objects."""
+        for obj in sample_objects():
+            via_ber = codec.decode(codec.encode(obj))
+            via_sgml = codec.from_sgml(codec.to_sgml(obj))
+            assert via_ber == via_sgml
+
+
+class TestPropertyRoundtrip:
+    @given(data=st.binary(max_size=512),
+           name=st.text(min_size=1, max_size=20),
+           pos=st.lists(st.integers(-10_000, 10_000), min_size=2, max_size=2))
+    @settings(max_examples=40)
+    def test_content_roundtrip_property(self, data, name, pos):
+        obj = ImageContentClass(
+            identifier=mid(1), content_hook="SIMG", data=data,
+            presentation={"position": pos})
+        obj.info.name = name
+        assert codec.decode(codec.encode(obj)) == obj
+        assert codec.from_sgml(codec.to_sgml(obj)) == obj

@@ -1,0 +1,58 @@
+"""Tests for MHEG identifiers and references."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mheg.identifiers import MhegIdentifier, ObjectReference, ref
+
+
+class TestMhegIdentifier:
+    def test_str_and_parse(self):
+        ident = MhegIdentifier("course", 42)
+        assert str(ident) == "course/42"
+        assert MhegIdentifier.parse("course/42") == ident
+
+    def test_application_with_slashes(self):
+        ident = MhegIdentifier.parse("mirl/teleschool/7")
+        assert ident.application == "mirl/teleschool" and ident.number == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MhegIdentifier("", 1)
+        with pytest.raises(ValueError):
+            MhegIdentifier("app", -1)
+        with pytest.raises(ValueError):
+            MhegIdentifier.parse("no-number")
+
+    def test_ordering(self):
+        assert MhegIdentifier("a", 1) < MhegIdentifier("a", 2) < MhegIdentifier("b", 0)
+
+    def test_hashable(self):
+        assert len({MhegIdentifier("a", 1), MhegIdentifier("a", 1)}) == 1
+
+
+class TestObjectReference:
+    def test_model_reference(self):
+        r = ref("app", 3)
+        assert not r.is_runtime
+        assert str(r) == "app/3"
+
+    def test_runtime_reference(self):
+        r = ref("app", 3, 2)
+        assert r.is_runtime
+        assert str(r) == "app/3#2"
+
+    def test_parse_roundtrip(self):
+        for text in ("app/3", "app/3#2", "a/b/9#1"):
+            assert str(ObjectReference.parse(text)) == text
+
+    def test_parse_bad_tag(self):
+        with pytest.raises(ValueError):
+            ObjectReference.parse("app/3#x")
+
+    @given(st.text(alphabet="abc/", min_size=1).filter(
+               lambda s: not s.endswith("/") and not s.startswith("/")),
+           st.integers(0, 10**6), st.none() | st.integers(0, 100))
+    def test_roundtrip_property(self, app, num, tag):
+        r = ObjectReference(MhegIdentifier(app, num), tag)
+        assert ObjectReference.parse(str(r)) == r

@@ -1,0 +1,99 @@
+"""Unit tests for run-time objects, channels, and the transition table."""
+
+import pytest
+
+from repro.mheg import AudioContentClass, GenericValueClass, ScriptClass
+from repro.mheg.classes import ActionClass, ActionVerb, ElementaryAction
+from repro.mheg.classes.composite import CompositeClass
+from repro.mheg.classes.content import MultiplexedContentClass, StreamDescription
+from repro.mheg.identifiers import MhegIdentifier, ref
+from repro.mheg.runtime import Channel, RtKind, RtObject, RtState, rt_kind_for
+from repro.util.errors import PresentationError
+
+
+def mid(n):
+    return MhegIdentifier("rt", n)
+
+
+class TestRtKind:
+    def test_kind_mapping(self):
+        assert rt_kind_for(AudioContentClass(
+            identifier=mid(1), content_hook="SPCM", data=b"x")) \
+            is RtKind.CONTENT
+        assert rt_kind_for(MultiplexedContentClass(
+            identifier=mid(2), content_hook="SMPG", data=b"x",
+            streams=[StreamDescription(1, "video")])) is RtKind.MULTIPLEXED
+        assert rt_kind_for(CompositeClass(identifier=mid(3))) \
+            is RtKind.COMPOSITE
+        assert rt_kind_for(ScriptClass(identifier=mid(4))) is RtKind.SCRIPT
+        assert rt_kind_for(GenericValueClass(identifier=mid(5))) \
+            is RtKind.VALUE
+
+    def test_links_have_no_runtime_form(self):
+        action = ActionClass(identifier=mid(6), actions=[
+            ElementaryAction(ActionVerb.RUN, ref("rt", 1))])
+        with pytest.raises(PresentationError):
+            rt_kind_for(action)
+
+
+class TestTransitions:
+    def _rt(self):
+        model = AudioContentClass(identifier=mid(1), content_hook="SPCM",
+                                  data=b"x")
+        return RtObject(reference=ref("rt", 1, 1), model=model,
+                        kind=RtKind.CONTENT)
+
+    def test_legal_cycle(self):
+        rt = self._rt()
+        rt.transition(RtState.RUNNING)
+        rt.transition(RtState.PAUSED)
+        rt.transition(RtState.RUNNING)
+        rt.transition(RtState.STOPPED)
+        rt.transition(RtState.RUNNING)   # re-run from stopped
+        rt.transition(RtState.DELETED)
+
+    def test_illegal_transitions_rejected(self):
+        rt = self._rt()
+        with pytest.raises(PresentationError):
+            rt.transition(RtState.PAUSED)       # inactive -> paused
+        rt.transition(RtState.RUNNING)
+        rt.transition(RtState.STOPPED)
+        with pytest.raises(PresentationError):
+            rt.transition(RtState.PAUSED)       # stopped -> paused
+
+    def test_deleted_is_terminal(self):
+        rt = self._rt()
+        rt.transition(RtState.DELETED)
+        with pytest.raises(PresentationError):
+            rt.transition(RtState.RUNNING)
+
+    def test_same_state_is_noop(self):
+        rt = self._rt()
+        assert rt.transition(RtState.INACTIVE) is RtState.INACTIVE
+
+    def test_requires_rt_reference(self):
+        model = AudioContentClass(identifier=mid(1), content_hook="SPCM",
+                                  data=b"x")
+        with pytest.raises(PresentationError):
+            RtObject(reference=ref("rt", 1), model=model,
+                     kind=RtKind.CONTENT)
+
+    def test_presentation_status(self):
+        rt = self._rt()
+        assert rt.presentation_status == "not-running"
+        rt.transition(RtState.RUNNING)
+        assert rt.presentation_status == "running"
+        rt.transition(RtState.PAUSED)
+        assert rt.presentation_status == "not-running"
+
+
+class TestChannel:
+    def test_enter_leave_zorder(self):
+        ch = Channel("main")
+        ch.enter("a")
+        ch.enter("b")
+        ch.enter("a")  # idempotent, keeps position
+        assert ch.presented == ["a", "b"]
+        ch.leave("a")
+        assert ch.presented == ["b"]
+        ch.leave("ghost")  # no error

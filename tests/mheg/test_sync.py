@@ -1,0 +1,85 @@
+"""Tests for the synchronisation spec builders (Fig 2.6)."""
+
+import pytest
+
+from repro.mheg import sync
+from repro.mheg.classes.behavior import ActionVerb, ElementaryAction
+from repro.mheg.identifiers import ref
+from repro.util.errors import AuthoringError
+
+A, B, C = ref("app", 1), ref("app", 2), ref("app", 3)
+
+
+class TestBuilders:
+    def test_atomic_serial(self):
+        spec = sync.atomic_serial(A, B)
+        sync.validate_spec(spec)
+        assert spec["mode"] == "serial"
+
+    def test_atomic_parallel(self):
+        spec = sync.atomic_parallel(A, B)
+        sync.validate_spec(spec)
+        assert spec["mode"] == "parallel"
+
+    def test_elementary_offsets(self):
+        spec = sync.elementary(A, 0.0, B, 2.5)
+        sync.validate_spec(spec)
+        assert spec["entries"][1]["time"] == 2.5
+
+    def test_elementary_rejects_negative(self):
+        with pytest.raises(AuthoringError):
+            sync.elementary(A, -1.0, B, 0.0)
+
+    def test_timeline_many_entries(self):
+        spec = sync.timeline([(A, 0.0), (B, 1.0), (C, 2.0)])
+        sync.validate_spec(spec)
+        assert len(spec["entries"]) == 3
+
+    def test_cyclic(self):
+        spec = sync.cyclic(A, period=1.5, repetitions=4)
+        sync.validate_spec(spec)
+        with pytest.raises(AuthoringError):
+            sync.cyclic(A, period=0)
+        with pytest.raises(AuthoringError):
+            sync.cyclic(A, period=1, repetitions=0)
+
+    def test_chained(self):
+        spec = sync.chained([A, B, C])
+        sync.validate_spec(spec)
+        with pytest.raises(AuthoringError):
+            sync.chained([])
+
+
+class TestValidateSpec:
+    def test_unknown_kind(self):
+        with pytest.raises(AuthoringError):
+            sync.validate_spec({"kind": "quantum"})
+
+    def test_atomic_bad_mode(self):
+        with pytest.raises(AuthoringError):
+            sync.validate_spec({"kind": "atomic", "mode": "diagonal",
+                                "first": "a/1", "second": "a/2"})
+
+    def test_elementary_empty(self):
+        with pytest.raises(AuthoringError):
+            sync.validate_spec({"kind": "elementary", "entries": []})
+
+
+class TestLinkBuilders:
+    def test_when_stops_run(self):
+        link = sync.when_stops_run("app", 10, A, B)
+        link.validate()
+        cond = link.trigger_conditions[0]
+        assert cond.source == A
+        assert cond.value == "not-running"
+        assert link.effect.actions[0].verb is ActionVerb.RUN
+        assert link.effect.actions[0].target == B
+
+    def test_when_selected_do(self):
+        actions = [ElementaryAction(ActionVerb.STOP, A),
+                   ElementaryAction(ActionVerb.RUN, B)]
+        link = sync.when_selected_do("app", 11, C, actions, once=True)
+        link.validate()
+        assert link.once
+        assert link.trigger_conditions[0].attribute == "selected"
+        assert len(link.effect.actions) == 2

@@ -1,0 +1,108 @@
+"""State-machine tests for the navigator application (Figs 5.3-5.7)."""
+
+import pytest
+
+from repro.core import MitsSystem
+from repro.navigator.navigator import (
+    FACILITIES, NAVIGATOR_VERSION, NavigatorState, SCHOOL_INTRODUCTION_REF,
+)
+from repro.util.errors import PresentationError
+
+
+@pytest.fixture()
+def mits():
+    system = MitsSystem(topology="star")
+    intro = system.production.center.produce_video(
+        SCHOOL_INTRODUCTION_REF, seconds=0.5)
+    system.publish_media(intro)
+    return system
+
+
+@pytest.fixture()
+def nav(mits):
+    return mits.add_user("user1").navigator
+
+
+class TestEntryScreen:
+    def test_about_works_before_login(self, nav):
+        nav.start()
+        info = nav.about()
+        assert info["version"] == NAVIGATOR_VERSION
+        assert set(info["facilities"]) == set(FACILITIES)
+
+    def test_school_introduction_streams_before_login(self, mits, nav):
+        nav.start()
+        rx = nav.watch_school_introduction()
+        mits.sim.run(until=mits.sim.now + 30)
+        assert rx.finished and len(rx.data) > 500
+
+    def test_login_only_from_entry(self, mits, nav):
+        nav.start()
+        nav.register("Ada")
+        mits.sim.run(until=mits.sim.now + 5)
+        assert nav.state is NavigatorState.MAIN
+        with pytest.raises(PresentationError):
+            nav.login("S1000")
+
+    def test_register_only_from_entry(self, mits, nav):
+        nav.start()
+        nav.register("Ada")
+        mits.sim.run(until=mits.sim.now + 5)
+        with pytest.raises(PresentationError):
+            nav.register("Again")
+
+
+class TestGuards:
+    def test_facilities_require_login(self, nav):
+        nav.start()
+        with pytest.raises(PresentationError):
+            nav.facilities()
+        with pytest.raises(PresentationError):
+            nav.browse_library()
+        with pytest.raises(PresentationError):
+            nav.update_profile(address="x")
+
+    def test_leave_classroom_requires_session(self, mits, nav):
+        nav.start()
+        nav.register("Ada")
+        mits.sim.run(until=mits.sim.now + 5)
+        with pytest.raises(PresentationError):
+            nav.leave_classroom()
+
+    def test_school_features_require_school_connection(self, mits):
+        from repro.database.api import DatabaseClient
+        from repro.navigator.navigator import Navigator
+        bare = Navigator(mits.add_user("user2").client, school=None,
+                         sim=mits.sim)
+        bare.start()
+        bare.register("NoSchool")
+        mits.sim.run(until=mits.sim.now + 5)
+        with pytest.raises(PresentationError):
+            bare.ask_facilitator("anything?")
+
+
+class TestTraceAndExit:
+    def test_trace_records_screens(self, mits, nav):
+        nav.start()
+        nav.about()
+        nav.register("Ada")
+        mits.sim.run(until=mits.sim.now + 5)
+        nav.exit()
+        events = [event for _, event in nav.trace]
+        assert "welcome-video" in events
+        assert "about" in events
+        assert "exit" in events
+
+    def test_exit_resets_to_entry(self, mits, nav):
+        nav.start()
+        nav.register("Ada")
+        mits.sim.run(until=mits.sim.now + 5)
+        nav.exit()
+        assert nav.state is NavigatorState.ENTRY
+        assert nav.student is None
+        # a fresh login works again
+        back = []
+        nav.start()
+        nav.login("S1000", on_done=back.append)
+        mits.sim.run(until=mits.sim.now + 5)
+        assert back and back[0]["name"] == "Ada"

@@ -1,0 +1,98 @@
+"""Tests for the audio conference bridge (multimedia conferencing)."""
+
+import numpy as np
+import pytest
+
+from repro.atm import Simulator
+from repro.atm.topology import star_campus
+from repro.school.conference_av import (
+    FRAME_SAMPLES, FRAME_SECONDS, AudioBridge, build_conference,
+    pack_audio_frame, unpack_audio_frame,
+)
+from repro.util.errors import NetworkError
+
+
+def constant_audio(value: int, frames: int = 10) -> np.ndarray:
+    return np.full(FRAME_SAMPLES * frames, value, dtype=np.int16)
+
+
+def make_conference(n=3):
+    sim = Simulator()
+    hosts = [f"p{i}" for i in range(n)] + ["bridge"]
+    net, _ = star_campus(sim, hosts)
+    bridge, participants = build_conference(
+        sim, net, "bridge", [f"p{i}" for i in range(n)])
+    return sim, bridge, participants
+
+
+class TestFraming:
+    def test_pack_unpack(self):
+        samples = np.arange(FRAME_SAMPLES, dtype=np.int16)
+        pid, idx, back = unpack_audio_frame(
+            pack_audio_frame(3, 17, samples))
+        assert (pid, idx) == (3, 17)
+        assert np.array_equal(back, samples)
+
+
+class TestMixing:
+    def test_mix_minus_excludes_own_voice(self):
+        sim, bridge, (a, b, c) = make_conference(3)
+        a.talk(constant_audio(100))
+        b.talk(constant_audio(200))
+        c.talk(constant_audio(300))
+        sim.run(until=2.0)
+        # A hears B + C, never its own 100
+        heard_a = a.heard_audio()
+        assert len(heard_a) > 0
+        assert set(np.unique(heard_a)) <= {500}
+        assert set(np.unique(b.heard_audio())) <= {400}
+        assert set(np.unique(c.heard_audio())) <= {300}
+
+    def test_all_frames_mixed_and_delivered(self):
+        sim, bridge, participants = make_conference(2)
+        for i, p in enumerate(participants):
+            p.talk(constant_audio((i + 1) * 100, frames=8))
+        sim.run(until=2.0)
+        assert bridge.frames_received == 16
+        assert bridge.frames_mixed == 8
+        for p in participants:
+            assert len(p.heard) == 8
+
+    def test_single_speaker_silence_for_them(self):
+        sim, bridge, (a, b) = make_conference(2)
+        a.talk(constant_audio(1000, frames=5))
+        sim.run(until=2.0)
+        # B hears A; A hears silence (mix minus own voice)
+        assert set(np.unique(b.heard_audio())) <= {1000}
+        heard_a = a.heard_audio()
+        assert len(heard_a) > 0 and set(np.unique(heard_a)) <= {0}
+
+    def test_clipping_bounded(self):
+        sim, bridge, (a, b, c) = make_conference(3)
+        a.talk(constant_audio(30000, frames=4))
+        b.talk(constant_audio(30000, frames=4))
+        c.talk(constant_audio(30000, frames=4))
+        sim.run(until=2.0)
+        heard = a.heard_audio()
+        assert heard.max() <= 32767  # 60000 clipped to int16 max
+
+    def test_latency_within_two_frames(self):
+        sim, bridge, (a, b) = make_conference(2)
+        start = sim.now
+        a.talk(constant_audio(500, frames=3))
+        sim.run(until=2.0)
+        first = min(h.arrived_at for h in b.heard)
+        assert first - start < 3 * FRAME_SECONDS
+
+    def test_requires_int16(self):
+        sim, bridge, (a, b) = make_conference(2)
+        with pytest.raises(NetworkError):
+            a.talk(np.zeros(100, dtype=np.float64))
+
+    def test_unknown_participant_ignored(self):
+        sim, bridge, (a, b) = make_conference(2)
+        # a rogue frame claiming participant id 99
+        a.send_vc.send(pack_audio_frame(
+            99, 0, np.zeros(FRAME_SAMPLES, dtype=np.int16)))
+        sim.run(until=1.0)
+        assert bridge.frames_received == 0

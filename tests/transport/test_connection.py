@@ -1,0 +1,142 @@
+"""Tests for the reliable connection (ARQ) over the simulated network."""
+
+import pytest
+
+from repro.atm import Simulator, TrafficContract, ServiceCategory
+from repro.atm.topology import star_campus
+from repro.transport.connection import Connection, connect_pair, MAX_FRAGMENT_BODY
+from repro.transport.messages import Message, MessageType
+from repro.util.errors import DecodingError, NetworkError
+
+
+def setup_pair(loss_buffer=None, access_bps=155.52e6, oversubscribe=1.0):
+    sim = Simulator()
+    net, _ = star_campus(sim, ["a", "b"], access_bps=access_bps,
+                         buffer_cells=loss_buffer or 1024)
+    contract = TrafficContract(ServiceCategory.UBR,
+                               pcr=oversubscribe * access_bps / 424)
+    ca, cb = connect_pair(sim, net, "a", "b", contract)
+    return sim, net, ca, cb
+
+
+class TestMessageFraming:
+    def test_roundtrip(self):
+        msg = Message(type=MessageType.REQUEST, seq=7, ack=3, corr_id=12,
+                      body=b"payload")
+        back = Message.decode(msg.encode())
+        assert back == msg
+
+    def test_bad_magic(self):
+        with pytest.raises(DecodingError):
+            Message.decode(b"XX" + bytes(18))
+
+    def test_truncated(self):
+        with pytest.raises(DecodingError):
+            Message.decode(b"MB\x00")
+
+    def test_body_length_mismatch(self):
+        raw = Message(type=MessageType.DATA, body=b"abc").encode()
+        with pytest.raises(DecodingError):
+            Message.decode(raw + b"extra")
+
+
+class TestReliableDelivery:
+    def test_in_order_delivery(self):
+        sim, net, ca, cb = setup_pair()
+        got = []
+        cb.on_message = lambda m: got.append(m.body)
+        for i in range(10):
+            ca.send(Message(type=MessageType.DATA, body=f"m{i}".encode()))
+        sim.run(until=2.0)
+        assert got == [f"m{i}".encode() for i in range(10)]
+
+    def test_bidirectional(self):
+        sim, net, ca, cb = setup_pair()
+        at_a, at_b = [], []
+        ca.on_message = lambda m: at_a.append(m.body)
+        cb.on_message = lambda m: at_b.append(m.body)
+        ca.send(Message(type=MessageType.DATA, body=b"ping"))
+        cb.send(Message(type=MessageType.DATA, body=b"pong"))
+        sim.run(until=2.0)
+        assert at_b == [b"ping"] and at_a == [b"pong"]
+
+    def test_window_backlog_drains(self):
+        sim, net, ca, cb = setup_pair()
+        got = []
+        cb.on_message = lambda m: got.append(m.seq)
+        for i in range(100):  # far beyond the window of 32
+            ca.send(Message(type=MessageType.DATA, body=b"x"))
+        sim.run(until=5.0)
+        assert len(got) == 100
+        assert got == sorted(got)
+
+    def test_survives_cell_loss(self):
+        # a mildly oversubscribed access link with a small buffer forces
+        # overflow drops; ARQ must recover every message
+        sim, net, ca, cb = setup_pair(loss_buffer=16, oversubscribe=1.1)
+        got = []
+        cb.on_message = lambda m: got.append(m.body)
+        payloads = [bytes([i]) * 300 for i in range(30)]
+        for p in payloads:
+            ca.send(Message(type=MessageType.DATA, body=p))
+        sim.run(until=30.0)
+        assert got == payloads
+        down = net.links[("sw0", "b")]
+        # the test is only meaningful if losses actually happened
+        assert (net.links[("a", "sw0")].stats.dropped_overflow
+                + down.stats.dropped_overflow
+                + ca.stats.retransmitted) > 0
+
+    def test_closed_connection_rejects_send(self):
+        sim, net, ca, cb = setup_pair()
+        ca.close()
+        with pytest.raises(NetworkError):
+            ca.send(Message(type=MessageType.DATA, body=b"x"))
+
+    def test_stats_track_delivery(self):
+        sim, net, ca, cb = setup_pair()
+        cb.on_message = lambda m: None
+        ca.send(Message(type=MessageType.DATA, body=b"x"))
+        sim.run(until=1.0)
+        assert ca.stats.sent == 1
+        assert cb.stats.delivered == 1
+        assert cb.stats.acks_sent >= 1
+
+    def test_window_validation(self):
+        sim, net, ca, cb = setup_pair()
+        with pytest.raises(ValueError):
+            Connection(sim, ca.endpoint, window=0)
+
+
+class TestFragmentation:
+    def test_large_body_reassembled(self):
+        sim, net, ca, cb = setup_pair()
+        got = []
+        cb.on_message = lambda m: got.append(m)
+        big = bytes(range(256)) * 700  # ~180 KB, > MAX_FRAGMENT_BODY
+        assert len(big) > MAX_FRAGMENT_BODY
+        ca.send(Message(type=MessageType.RESPONSE, corr_id=5, body=big))
+        sim.run(until=5.0)
+        assert len(got) == 1
+        assert got[0].body == big
+        assert got[0].corr_id == 5
+        assert got[0].type is MessageType.RESPONSE
+
+    def test_exact_boundary_not_fragmented(self):
+        sim, net, ca, cb = setup_pair()
+        got = []
+        cb.on_message = lambda m: got.append(m.body)
+        body = bytes(MAX_FRAGMENT_BODY)
+        ca.send(Message(type=MessageType.DATA, body=body))
+        sim.run(until=5.0)
+        assert got == [body]
+
+    def test_small_messages_after_large(self):
+        sim, net, ca, cb = setup_pair()
+        got = []
+        cb.on_message = lambda m: got.append(m.body)
+        big = bytes(MAX_FRAGMENT_BODY * 2 + 17)
+        ca.send(Message(type=MessageType.DATA, body=big))
+        ca.send(Message(type=MessageType.DATA, body=b"small"))
+        sim.run(until=5.0)
+        assert got == [big, b"small"]

@@ -1,0 +1,88 @@
+"""Tests for the wire value encoding."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.transport.wire import dump_value, load_value
+from repro.util.errors import DecodingError, EncodingError
+
+
+SCALARS = [None, True, False, 0, 1, -1, 2**70, -(2**70), 0.0, -1.5,
+           b"", b"\x00\xff", "", "café", "中文"]
+
+
+class TestScalars:
+    @pytest.mark.parametrize("value", SCALARS, ids=repr)
+    def test_roundtrip(self, value):
+        back = load_value(dump_value(value))
+        assert back == value and type(back) is type(value)
+
+    def test_nan_roundtrips(self):
+        assert math.isnan(load_value(dump_value(float("nan"))))
+
+    def test_bool_is_not_int(self):
+        assert load_value(dump_value(True)) is True
+        assert load_value(dump_value(1)) == 1
+        assert load_value(dump_value(1)) is not True
+
+
+class TestContainers:
+    def test_nested_structure(self):
+        value = {"method": "Get_Selected_Doc",
+                 "params": {"name": "atm-course", "ids": [1, 2, 3],
+                            "blob": b"\x00" * 10, "opt": None}}
+        assert load_value(dump_value(value)) == value
+
+    def test_tuple_becomes_list(self):
+        assert load_value(dump_value((1, 2))) == [1, 2]
+
+    def test_non_str_keys_rejected(self):
+        with pytest.raises(EncodingError):
+            dump_value({1: "x"})
+
+    def test_unencodable_type_rejected(self):
+        with pytest.raises(EncodingError):
+            dump_value(object())
+
+    def test_depth_limit(self):
+        value = []
+        for _ in range(60):
+            value = [value]
+        with pytest.raises(EncodingError):
+            dump_value(value)
+
+
+class TestMalformedInput:
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(DecodingError):
+            load_value(dump_value(1) + b"\x00")
+
+    def test_truncated_rejected(self):
+        data = dump_value("hello world")
+        with pytest.raises(DecodingError):
+            load_value(data[:-3])
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(DecodingError):
+            load_value(b"\x7f")
+
+    def test_empty_rejected(self):
+        with pytest.raises(DecodingError):
+            load_value(b"")
+
+
+wire_values = st.recursive(
+    st.none() | st.booleans() | st.integers() |
+    st.floats(allow_nan=False) | st.binary(max_size=64) | st.text(max_size=32),
+    lambda children: st.lists(children, max_size=5) |
+    st.dictionaries(st.text(max_size=8), children, max_size=5),
+    max_leaves=25,
+)
+
+
+class TestProperties:
+    @given(wire_values)
+    def test_roundtrip_property(self, value):
+        assert load_value(dump_value(value)) == value
