@@ -1,0 +1,22 @@
+# Developer entry points.  `make check` is the tier-1 gate: the full
+# unit suite plus a bytecode compile of every source file.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+.PHONY: check test compile smoke bench
+
+check: test compile smoke
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+compile:
+	$(PYTHON) -m compileall -q src
+
+# runs the quickstart end to end and asserts a non-empty metrics dump
+smoke:
+	$(PYTHON) scripts/smoke_quickstart.py
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q

@@ -8,7 +8,7 @@ presentation; Fig 3.4 — the per-site module inventory.
 
 import pytest
 
-from conftest import build_catalog, build_imd, deploy_mits
+from conftest import build_catalog, build_imd, deploy_mits, emit_metrics
 
 from repro.authoring.editor import CoursewareEditor
 from repro.database.schema import ContentRecord
@@ -24,6 +24,9 @@ def test_five_site_deployment(benchmark):
 
     mits = benchmark(deploy)
     snap = mits.snapshot()
+    assert snap["metrics"], "deployment produced no metrics"
+    benchmark.extra_info["metrics_dump"] = emit_metrics(
+        mits, "five_site_deployment")
     assert snap["sites"]["production"] == "production"
     assert snap["sites"]["authors"] == ["author1"]
     assert snap["sites"]["users"] == ["user1"]

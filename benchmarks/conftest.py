@@ -9,6 +9,9 @@ module-scoped where construction is expensive and read-only.
 
 from __future__ import annotations
 
+import json
+import os
+
 import pytest
 
 from repro.authoring import (
@@ -95,6 +98,30 @@ def compiled_hyperdoc(catalog):
 def compiled_imd(catalog):
     return CoursewareEditor("bench-imd", catalog=catalog) \
         .compile_imd(build_imd())
+
+
+def emit_metrics(mits: MitsSystem, name: str) -> str:
+    """Dump the deployment's metrics registry to JSON.
+
+    Written next to the pytest-benchmark output (override the
+    directory with ``BENCH_METRICS_DIR``) so each ``BENCH_*.json``
+    trajectory has a matching ``metrics_<name>.json`` and per-layer
+    numbers stay comparable across PRs.
+    """
+    out_dir = os.environ.get(
+        "BENCH_METRICS_DIR",
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "out"))
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"metrics_{name}.json")
+    dump = {
+        "name": name,
+        "sim_time": mits.sim.now,
+        "events_run": mits.sim.events_run,
+        "metrics": mits.sim.metrics.report(),
+    }
+    with open(path, "w") as fh:
+        json.dump(dump, fh, indent=2, sort_keys=True)
+    return path
 
 
 def deploy_mits(topology: str = "star", **kwargs) -> MitsSystem:

@@ -19,7 +19,7 @@ from repro.authoring import (
 from repro.core import MitsSystem
 
 
-def main() -> None:
+def main() -> MitsSystem:
     # 1. deploy (production, author, database, facilitator, user sites)
     mits = MitsSystem(topology="star")
     print("deployed sites:", mits.snapshot()["sites"])
@@ -78,6 +78,7 @@ def main() -> None:
     print(f"left the classroom at position {position:.2f}s "
           "(saved for resume)")
     print("school statistics:", mits.database.db.statistics())
+    return mits
 
 
 if __name__ == "__main__":

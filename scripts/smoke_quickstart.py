@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Smoke test: run examples/quickstart.py end to end and assert the
+deployment produced a non-empty, JSON-serialisable metrics dump.
+
+Run via ``make smoke`` (or directly with ``PYTHONPATH=src``); exits
+non-zero on any failure, so it slots into CI after the unit suite.
+"""
+
+import json
+import os
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_ROOT, "src"))
+sys.path.insert(0, os.path.join(_ROOT, "examples"))
+
+from quickstart import main  # noqa: E402
+
+
+def run() -> None:
+    mits = main()
+    snap = mits.snapshot()
+    metrics = snap["metrics"]
+    assert metrics, "metrics dump is empty"
+    for component in ("simulator", "link", "vc", "connection", "mheg"):
+        assert component in metrics, f"no {component!r} metrics recorded"
+    events = metrics["simulator"]["events_run"][0]["value"]
+    assert events > 0, "simulator recorded no events"
+    delay_hists = metrics["vc"]["pdu_delay_seconds"]
+    assert any(h["count"] > 0 for h in delay_hists), \
+        "no per-VC delay samples recorded"
+    payload = json.dumps(metrics)
+    print(f"smoke ok: {events} events, {len(delay_hists)} VC delay "
+          f"histograms, metrics dump {len(payload)} bytes")
+
+
+if __name__ == "__main__":
+    run()

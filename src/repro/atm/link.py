@@ -68,6 +68,15 @@ class Link:
         self.stats = LinkStats()
         #: bandwidth reserved by connection admission (bits/s)
         self.reserved_bps = 0.0
+        metrics = sim.metrics
+        label = name or f"link@{id(self):x}"
+        self._m_enqueued = metrics.counter("link", "cells_enqueued", link=label)
+        self._m_transmitted = metrics.counter("link", "cells_transmitted",
+                                              link=label)
+        self._m_drops = metrics.counter("link", "drops_total", link=label)
+        self._m_occupancy = metrics.gauge("link", "queue_occupancy", link=label)
+        self._metrics = metrics
+        self._label = label
 
     def inject_errors(self, rate: float, seed: int = 0) -> None:
         """Enable (or change) seeded random cell loss on this link."""
@@ -95,13 +104,21 @@ class Link:
         if self._queued >= self.buffer_cells:
             if not self._shed_low_priority(category):
                 self.stats.dropped_overflow += 1
+                self._count_drop("overflow", category.name)
                 return False
         self._queues[category].append((cell, category))
         self._queued += 1
         self.stats.enqueued += 1
+        self._m_enqueued.inc()
+        self._m_occupancy.set(self._queued)
         if not self._busy:
             self._start_transmission()
         return True
+
+    def _count_drop(self, reason: str, category: str) -> None:
+        self._m_drops.inc()
+        self._metrics.counter("link", "drops", link=self._label,
+                              reason=reason, category=category).inc()
 
     def _shed_low_priority(self, arriving: ServiceCategory) -> bool:
         """Try to make room for an *arriving*-class cell by dropping a
@@ -121,6 +138,8 @@ class Link:
                     q.pop()
                 self._queued -= 1
                 self.stats.dropped_overflow += 1
+                self._count_drop("shed", cat.name)
+                self._m_occupancy.set(self._queued)
                 return True
         return False
 
@@ -129,6 +148,7 @@ class Link:
             if q:
                 cell, _cat = q.popleft()
                 self._queued -= 1
+                self._m_occupancy.set(self._queued)
                 break
         else:
             self._busy = False
@@ -140,9 +160,11 @@ class Link:
 
     def _finish_transmission(self, cell: Cell) -> None:
         self.stats.transmitted += 1
+        self._m_transmitted.inc()
         if self._error_rng is not None and \
                 self._error_rng.random() < self.error_rate:
             self.stats.dropped_errors += 1
+            self._count_drop("error", "any")
         elif self.sink is not None:
             self.sim.schedule(self.prop_delay, self.sink, cell)
         self._start_transmission()

@@ -15,8 +15,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.atm.aal5 import Aal5Receiver, Aal5Sender
 from repro.atm.cell import Cell
@@ -31,14 +32,26 @@ from repro.atm.switch import Switch, VcTableEntry
 from repro.util.errors import NetworkError
 
 
+#: how many raw per-PDU delay samples a VC keeps (the full
+#: distribution lives in the bounded metrics histogram)
+DELAY_SAMPLE_CAP = 1024
+
+#: cap on outstanding send-time entries per host; beyond this the
+#: oldest entries are evicted (their PDUs report NaN delay instead of
+#: leaking memory forever on lossy links)
+SEND_TIME_CAP = 8192
+
+
 @dataclass
 class VcStats:
     pdus_sent: int = 0
     pdus_delivered: int = 0
     bytes_sent: int = 0
     bytes_delivered: int = 0
-    #: per-PDU end-to-end delays (send call -> last cell delivered)
-    delays: List[float] = field(default_factory=list)
+    #: most recent per-PDU end-to-end delays (send call -> last cell
+    #: delivered); bounded — the histogram keeps the full distribution
+    delays: Deque[float] = field(
+        default_factory=lambda: deque(maxlen=DELAY_SAMPLE_CAP))
 
 
 class VirtualCircuit:
@@ -58,6 +71,14 @@ class VirtualCircuit:
         self.shaper = LeakyBucketShaper(contract)
         self.stats = VcStats()
         self.open = True
+        metrics = src.sim.metrics
+        route = f"{src.name}->{dst.name}"
+        self.delay_hist = metrics.histogram("vc", "pdu_delay_seconds",
+                                            vc=vc_id, route=route)
+        self._m_pdus_sent = metrics.counter("vc", "pdus_sent",
+                                            vc=vc_id, route=route)
+        self._m_pdus_delivered = metrics.counter("vc", "pdus_delivered",
+                                                 vc=vc_id, route=route)
 
     def send(self, payload: bytes) -> None:
         """Segment *payload* and inject its cells, paced by the shaper."""
@@ -83,6 +104,14 @@ class Host:
         cells = vc.sender.segment(payload, created_at=now)
         vc.stats.pdus_sent += 1
         vc.stats.bytes_sent += len(payload)
+        vc._m_pdus_sent.inc()
+        # bound the in-flight map: a PDU whose last cell is dropped
+        # never gets popped on delivery, so on lossy links the oldest
+        # entries must be evicted (their delay is reported as NaN)
+        while len(self._send_times) >= SEND_TIME_CAP:
+            self._send_times.pop(next(iter(self._send_times)))
+            self.sim.metrics.counter("host", "send_times_evicted",
+                                     host=self.name).inc()
         self._send_times[(vc.vc_id, cells[-1].seqno)] = now
         category = vc.contract.category
         for cell in cells:
@@ -97,6 +126,8 @@ class Host:
             vc.stats.pdus_delivered += 1
             vc.stats.bytes_delivered += len(payload)
             vc.stats.delays.append(delay)
+            vc._m_pdus_delivered.inc()
+            vc.delay_hist.observe(delay)  # NaN (evicted send time) ignored
             handler(payload, DeliveryInfo(vc=vc, delay=delay,
                                           delivered_at=self.sim.now,
                                           hops=last_cell.hops))
@@ -328,3 +359,8 @@ class AtmNetwork:
             link = self.links[(vc.path[i], vc.path[i + 1])]
             link.reserved_bps = max(0.0, link.reserved_bps - eff_bw)
         vc.dst._rx.pop(vc.last_vci, None)
+        # drop in-flight send-time entries: PDUs whose last cell was
+        # lost would otherwise leak one entry each, forever
+        src_host = vc.src
+        for key in [k for k in src_host._send_times if k[0] == vc.vc_id]:
+            del src_host._send_times[key]

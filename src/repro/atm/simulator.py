@@ -15,8 +15,15 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time as _time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+#: bucket ladder for host-side callback cost (wall-clock seconds)
+_CALLBACK_BUCKETS = tuple(1e-7 * 4 ** i for i in range(10))
 
 
 @dataclass(order=True)
@@ -37,11 +44,25 @@ class Event:
 class Simulator:
     """Event-queue simulator with deterministic tie-breaking."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, metrics: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None,
+                 profile_callbacks: bool = False) -> None:
         self._queue: list[Event] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._events_run = 0
+        #: shared observability: every component attached to this
+        #: simulator records into the same registry/tracer
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else \
+            Tracer(clock=lambda: self._now)
+        #: when True, each callback's wall-clock cost is histogrammed
+        #: by callsite (the callback's qualified name) — costs a
+        #: perf_counter pair per event, so off by default
+        self.profile_callbacks = profile_callbacks
+        self._m_events = self.metrics.counter("simulator", "events_run")
+        self._m_scheduled = self.metrics.counter("simulator", "events_scheduled")
+        self._m_depth = self.metrics.gauge("simulator", "queue_depth")
 
     @property
     def now(self) -> float:
@@ -59,6 +80,8 @@ class Simulator:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
         ev = Event(self._now + delay, next(self._seq), callback, args)
         heapq.heappush(self._queue, ev)
+        self._m_scheduled.inc()
+        self._m_depth.set(len(self._queue))
         return ev
 
     def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
@@ -71,26 +94,57 @@ class Simulator:
         Stops when the queue drains, when the next event lies beyond
         *until*, or after *max_events* events.  Returns the simulated
         time reached.  When stopping at *until*, the clock is advanced
-        to exactly *until* so back-to-back ``run`` calls compose.
+        to exactly *until* so back-to-back ``run`` calls compose — but
+        only when no runnable event remains at or before *until*: if
+        the *max_events* budget stops us mid-timeline, the clock stays
+        at the last executed event so a subsequent ``run`` resumes
+        without ever moving time backwards.
         """
         count = 0
         while self._queue:
             ev = self._queue[0]
+            if ev.cancelled:
+                heapq.heappop(self._queue)
+                self._m_depth.set(len(self._queue))
+                continue
             if until is not None and ev.time > until:
                 self._now = until
                 return self._now
             heapq.heappop(self._queue)
-            if ev.cancelled:
-                continue
             self._now = ev.time
-            ev.callback(*ev.args)
-            self._events_run += 1
+            self._execute(ev)
             count += 1
             if max_events is not None and count >= max_events:
                 break
         if until is not None and self._now < until:
-            self._now = until
+            nxt = self._next_event_time()
+            if nxt is None or nxt > until:
+                self._now = until
         return self._now
+
+    def _execute(self, ev: Event) -> None:
+        if self.profile_callbacks:
+            t0 = _time.perf_counter()
+            ev.callback(*ev.args)
+            cost = _time.perf_counter() - t0
+            cb = ev.callback
+            callsite = getattr(cb, "__qualname__", None) or repr(cb)
+            self.metrics.histogram(
+                "simulator", "callback_seconds",
+                buckets=_CALLBACK_BUCKETS, callsite=callsite).observe(cost)
+        else:
+            ev.callback(*ev.args)
+        self._events_run += 1
+        self._m_events.inc()
+        self._m_depth.set(len(self._queue))
+
+    def _next_event_time(self) -> Optional[float]:
+        """Timestamp of the next runnable event (cancelled ones are
+        lazily discarded), or None when the queue is effectively empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        self._m_depth.set(len(self._queue))
+        return self._queue[0].time if self._queue else None
 
     def step(self) -> bool:
         """Run exactly one event.  Returns False if the queue is empty."""
@@ -99,8 +153,7 @@ class Simulator:
             if ev.cancelled:
                 continue
             self._now = ev.time
-            ev.callback(*ev.args)
-            self._events_run += 1
+            self._execute(ev)
             return True
         return False
 

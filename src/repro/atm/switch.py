@@ -51,6 +51,15 @@ class Switch:
         self._out_links: Dict[str, Link] = {}
         self._table: Dict[Tuple[str, int, int], VcTableEntry] = {}
         self.stats = SwitchStats()
+        metrics = sim.metrics
+        self._m_switched = metrics.counter("switch", "cells_switched",
+                                           switch=name)
+        self._m_unroutable = metrics.counter("switch", "cells_unroutable",
+                                             switch=name)
+        self._m_policed_dropped = metrics.counter("switch", "policed_dropped",
+                                                  switch=name)
+        self._m_policed_tagged = metrics.counter("switch", "policed_tagged",
+                                                 switch=name)
 
     def attach_output(self, port: str, link: Link) -> None:
         """Wire the outgoing link for *port* (port names = neighbour node)."""
@@ -86,14 +95,17 @@ class Switch:
         entry = self._table.get((in_port, cell.header.vpi, cell.header.vci))
         if entry is None:
             self.stats.unroutable += 1
+            self._m_unroutable.inc()
             return
         if entry.upc is not None:
             verdict = entry.upc.police(self.sim.now)
             if verdict == "drop":
                 self.stats.policed_dropped += 1
+                self._m_policed_dropped.inc()
                 return
             if verdict == "tag":
                 self.stats.policed_tagged += 1
+                self._m_policed_tagged.inc()
                 hdr = type(cell.header)(
                     vpi=cell.header.vpi, vci=cell.header.vci,
                     pti=cell.header.pti, clp=1, gfc=cell.header.gfc)
@@ -103,6 +115,7 @@ class Switch:
         out = cell.with_vc(entry.out_vpi, entry.out_vci)
         out.hops = cell.hops + 1
         self.stats.switched += 1
+        self._m_switched.inc()
         # model the fabric traversal as a fixed delay before the cell
         # reaches the output buffer
         self.sim.schedule(self.switching_delay, self._emit, out, entry)

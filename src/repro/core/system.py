@@ -107,7 +107,12 @@ class MitsSystem:
         return assets
 
     def snapshot(self) -> Dict[str, Any]:
-        """Deployment summary (Fig 3.1 realised), for reports."""
+        """Deployment summary (Fig 3.1 realised), for reports.
+
+        The ``metrics`` section is the full registry dump — per-VC
+        delay histograms, link drop counters, connection retransmit
+        counts, MHEG sync skew — everything the layers recorded.
+        """
         return {
             "topology": self.spec.name,
             "switches": list(self.spec.switches),
@@ -119,4 +124,7 @@ class MitsSystem:
                 "users": sorted(self.users),
             },
             "db_statistics": self.database.db.statistics(),
+            "events_run": self.sim.events_run,
+            "sim_time": self.sim.now,
+            "metrics": self.sim.metrics.report(),
         }

@@ -36,6 +36,7 @@ from repro.mheg.runtime import (
     Channel, RtKind, RtObject, RtState, rt_kind_for,
 )
 from repro.mheg.sync import validate_spec
+from repro.obs.metrics import MetricsRegistry
 from repro.util.errors import PresentationError
 
 
@@ -102,6 +103,19 @@ class MhegEngine:
         self._local_seq = itertools.count()
         self.stats = {"decoded": 0, "encoded": 0, "links_fired": 0,
                       "actions_applied": 0, "rt_created": 0}
+        #: attached engines record into the deployment-wide registry;
+        #: standalone engines own a private one
+        self.metrics = sim.metrics if sim is not None else MetricsRegistry()
+        self._m_links_fired = self.metrics.counter("mheg", "links_fired",
+                                                   engine=name)
+        self._m_actions = self.metrics.counter("mheg", "actions_applied",
+                                               engine=name)
+        self._m_rt_created = self.metrics.counter("mheg", "rt_created",
+                                                  engine=name)
+        #: skew between when a sync-spec entry was due and when the
+        #: engine actually ran it (elementary/cyclic synchronisation)
+        self._m_sync_skew = self.metrics.histogram("mheg", "sync_skew_seconds",
+                                                   engine=name)
 
     # -- time ---------------------------------------------------------------
 
@@ -260,6 +274,7 @@ class MhegEngine:
                                  for s in model.streams}
         self._rt[str(rt_ref)] = rt
         self.stats["rt_created"] += 1
+        self._m_rt_created.inc()
         if isinstance(model, CompositeClass):
             children: Dict[str, str] = {}
             for comp_ref in model.components:
@@ -422,6 +437,7 @@ class MhegEngine:
             if not cond.evaluate(observed):
                 return
         self.stats["links_fired"] += 1
+        self._m_links_fired.inc()
         if link.once:
             self.disarm_link(ObjectReference(link.identifier))
         effect = link.effect
@@ -446,6 +462,7 @@ class MhegEngine:
     def apply(self, action: ElementaryAction) -> None:
         """Interpret one elementary action (Fig 4.5c verbs)."""
         self.stats["actions_applied"] += 1
+        self._m_actions.inc()
         verb, target, params = action.verb, action.target, action.parameters
         if verb is ActionVerb.PREPARE:
             self.prepare(target)
@@ -671,7 +688,8 @@ class MhegEngine:
                     self.run(child)
                 else:
                     self.schedule(entry["time"], self._run_if_live,
-                                  rt.ref_str, child.ref_str)
+                                  rt.ref_str, child.ref_str,
+                                  self.now + entry["time"])
         elif kind == "cyclic":
             child = self._child_rt(rt, spec["target"])
             self._cycle(rt.ref_str, child.ref_str, spec["period"],
@@ -682,7 +700,10 @@ class MhegEngine:
                 order.append(self._child_rt(rt, t).ref_str)
             self._run_chain(rt, order)
 
-    def _run_if_live(self, composite_ref: str, child_ref: str) -> None:
+    def _run_if_live(self, composite_ref: str, child_ref: str,
+                     due: Optional[float] = None) -> None:
+        if due is not None:
+            self._m_sync_skew.observe(max(0.0, self.now - due))
         composite = self._rt.get(composite_ref)
         child = self._rt.get(child_ref)
         if composite is None or composite.state is not RtState.RUNNING:
@@ -691,7 +712,10 @@ class MhegEngine:
             self.run(child)
 
     def _cycle(self, composite_ref: str, child_ref: str, period: float,
-               repetitions: Optional[int], iteration: int = 0) -> None:
+               repetitions: Optional[int], iteration: int = 0,
+               due: Optional[float] = None) -> None:
+        if due is not None:
+            self._m_sync_skew.observe(max(0.0, self.now - due))
         composite = self._rt.get(composite_ref)
         if composite is None or composite.state is not RtState.RUNNING:
             return
@@ -715,7 +739,8 @@ class MhegEngine:
             self.stop(child)
         self.run(child)
         self.schedule(period, self._cycle, composite_ref, child_ref,
-                      period, repetitions, iteration + 1)
+                      period, repetitions, iteration + 1,
+                      self.now + period)
 
     def _run_chain(self, rt: RtObject, order: List[str]) -> None:
         if not order:

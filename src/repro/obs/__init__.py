@@ -1,0 +1,35 @@
+"""Observability: the metrics registry and span tracer.
+
+One :class:`MetricsRegistry` + one :class:`Tracer` pair is owned by
+each :class:`~repro.atm.simulator.Simulator` and shared by every
+component attached to it; ``MitsSystem.snapshot()`` and the benchmark
+harness export their contents so measured trajectories are comparable
+across PRs.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    TIME_BUCKETS,
+)
+from repro.obs.tracing import NULL_SPAN, Span, SpanRecord, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "NULL_SPAN",
+    "Span",
+    "SpanRecord",
+    "TIME_BUCKETS",
+    "Tracer",
+]

@@ -1,0 +1,288 @@
+"""Metrics registry: counters, gauges, and time-bucketed histograms.
+
+Every measurable quantity in the reproduction flows through one
+:class:`MetricsRegistry`, keyed by ``(component, name, labels)`` — the
+same triple the thesis's evaluation chapters report per layer (cell
+delays at the ATM layer, retransmits at the transport layer, sync skew
+at the MHEG layer).  Components fetch their instruments once at
+construction and update them on the hot path with a single attribute
+mutation; the registry itself is only walked when a report is
+exported.
+
+Design points:
+
+* **Instruments are memoised** — asking for the same
+  ``(component, name, labels)`` twice returns the same object, so
+  call-site code never has to thread instrument handles around.
+* **Histograms are time-bucketed** — the default bucket ladder is a
+  geometric progression of seconds (1 µs … 64 s) suited to everything
+  from cell times on an OC-3 to courseware download times.  Custom
+  ladders can be passed for non-temporal quantities.
+* **A disabled registry is near-free** — every instrument request
+  returns one shared no-op object whose mutators do nothing.
+* **Export is JSON-stable** — :meth:`MetricsRegistry.report` produces
+  plain dicts/lists so ``BENCH_*.json`` trajectories are comparable
+  across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "TIME_BUCKETS",
+]
+
+#: default histogram ladder: 1 µs .. 64 s in powers of four, a spread
+#: wide enough for cell times (~2.7 µs on OC-3) and whole-courseware
+#: downloads (tens of seconds) alike.
+TIME_BUCKETS: Tuple[float, ...] = tuple(1e-6 * 4 ** i for i in range(13))
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Point-in-time level, with min/max watermarks since creation."""
+
+    __slots__ = ("value", "min", "max")
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def add(self, delta: float) -> None:
+        self.set(self.value + delta)
+
+    def snapshot(self) -> Dict[str, Any]:
+        empty = self.min > self.max
+        return {
+            "type": "gauge",
+            "value": self.value,
+            "min": None if empty else self.min,
+            "max": None if empty else self.max,
+        }
+
+
+class Histogram:
+    """Bucketed distribution with count/sum/min/max.
+
+    ``buckets`` are upper bounds; an observation lands in the first
+    bucket whose bound is >= the value, or in the implicit overflow
+    bucket.  Bounded memory regardless of sample count — this is what
+    replaces the unbounded per-VC ``delays`` lists.
+    """
+
+    __slots__ = ("bounds", "counts", "overflow", "count", "sum",
+                 "min", "max")
+
+    kind = "histogram"
+
+    def __init__(self, buckets: Optional[Iterable[float]] = None) -> None:
+        self.bounds: Tuple[float, ...] = tuple(buckets) if buckets is not None \
+            else TIME_BUCKETS
+        if any(b2 <= b1 for b1, b2 in zip(self.bounds, self.bounds[1:])):
+            raise ValueError("histogram buckets must be strictly increasing")
+        self.counts: List[int] = [0] * len(self.bounds)
+        self.overflow = 0
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        if value != value:  # NaN: e.g. a delay whose send time was evicted
+            return
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        i = bisect_left(self.bounds, value)
+        if i < len(self.counts):
+            self.counts[i] += 1
+        else:
+            self.overflow += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from bucket bounds (upper-bound biased)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        running = 0
+        for bound, n in zip(self.bounds, self.counts):
+            running += n
+            if running >= target:
+                return bound
+        return self.max
+
+    def snapshot(self) -> Dict[str, Any]:
+        empty = self.count == 0
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": None if empty else self.min,
+            "max": None if empty else self.max,
+            "buckets": [
+                {"le": bound, "count": n}
+                for bound, n in zip(self.bounds, self.counts) if n
+            ],
+            "overflow": self.overflow,
+            "p50": self.quantile(0.5),
+            "p99": self.quantile(0.99),
+        }
+
+
+class _NullInstrument:
+    """Shared do-nothing instrument handed out by a disabled registry."""
+
+    __slots__ = ()
+
+    value = 0
+    count = 0
+    sum = 0.0
+    mean = 0.0
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": "null"}
+
+
+NULL_COUNTER = _NullInstrument()
+NULL_GAUGE = _NullInstrument()
+NULL_HISTOGRAM = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Home of every instrument for one simulated deployment.
+
+    ``enabled`` is fixed at construction: components cache instrument
+    references, so flipping it later would not affect already-wired
+    hot paths.
+    """
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._instruments: Dict[Tuple[str, str, LabelKey], Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def _get(self, factory, component: str, name: str,
+             labels: Mapping[str, Any], kind: str):
+        key = (component, name, _label_key(labels))
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = factory()
+            self._instruments[key] = inst
+        elif inst.kind != kind:
+            raise TypeError(
+                f"metric {component}.{name}{dict(labels)!r} already "
+                f"registered as a {inst.kind}, requested {kind}")
+        return inst
+
+    def counter(self, component: str, name: str, **labels: Any) -> Counter:
+        if not self.enabled:
+            return NULL_COUNTER  # type: ignore[return-value]
+        return self._get(Counter, component, name, labels, "counter")
+
+    def gauge(self, component: str, name: str, **labels: Any) -> Gauge:
+        if not self.enabled:
+            return NULL_GAUGE  # type: ignore[return-value]
+        return self._get(Gauge, component, name, labels, "gauge")
+
+    def histogram(self, component: str, name: str,
+                  buckets: Optional[Iterable[float]] = None,
+                  **labels: Any) -> Histogram:
+        if not self.enabled:
+            return NULL_HISTOGRAM  # type: ignore[return-value]
+        return self._get(lambda: Histogram(buckets), component, name,
+                         labels, "histogram")
+
+    def find(self, component: Optional[str] = None,
+             name: Optional[str] = None) -> Dict[Tuple[str, str, LabelKey], Any]:
+        """All instruments matching the given component/name filters."""
+        return {
+            key: inst for key, inst in self._instruments.items()
+            if (component is None or key[0] == component)
+            and (name is None or key[1] == name)
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (a fresh run on the same registry)."""
+        self._instruments.clear()
+
+    def report(self) -> Dict[str, Any]:
+        """Nested ``{component: {name: [{labels, ...snapshot}]}}`` dump."""
+        out: Dict[str, Dict[str, List[Dict[str, Any]]]] = {}
+        for (component, name, labels), inst in sorted(
+                self._instruments.items(), key=lambda kv: kv[0]):
+            entry = {"labels": dict(labels)}
+            entry.update(inst.snapshot())
+            out.setdefault(component, {}).setdefault(name, []).append(entry)
+        return out
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.report(), indent=indent, sort_keys=True)

@@ -1,0 +1,177 @@
+"""Lightweight span tracing over simulated time.
+
+A :class:`Tracer` records named spans — intervals of *simulated* time
+with arbitrary attributes and parent/child nesting — so an end-to-end
+flow (publish courseware → download → present) can be decomposed into
+the per-layer intervals the thesis's measurement chapter tabulates.
+
+The clock is injected (normally ``lambda: sim.now``) so the tracer
+works for both simulator-attached components and the standalone MHEG
+engine.  Tracing defaults to **off** and is zero-cost when disabled:
+``span()`` then returns one shared no-op context manager, so the hot
+path pays a single attribute test.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+__all__ = ["Span", "SpanRecord", "Tracer", "NULL_SPAN"]
+
+
+@dataclass
+class SpanRecord:
+    """A finished span, as exported."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start: float
+    end: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attrs": self.attrs,
+        }
+
+
+class _NullSpan:
+    """Shared no-op span for a disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def end(self) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """An open span; close it with ``end()`` or use it as a context
+    manager.  Attributes added with ``set()`` land in the record."""
+
+    __slots__ = ("_tracer", "span_id", "parent_id", "name", "start",
+                 "attrs", "_open")
+
+    def __init__(self, tracer: "Tracer", span_id: int,
+                 parent_id: Optional[int], name: str, start: float,
+                 attrs: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.attrs = attrs
+        self._open = True
+
+    def set(self, **attrs: Any) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def end(self) -> None:
+        if self._open:
+            self._open = False
+            self._tracer._finish(self)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.end()
+        return False
+
+
+class Tracer:
+    """Collects spans against an injected clock.
+
+    ``max_spans`` bounds memory: the oldest finished spans are evicted
+    first (the ``dropped`` counter says how many).
+    """
+
+    def __init__(self, clock: Callable[[], float], *, enabled: bool = False,
+                 max_spans: int = 10_000) -> None:
+        self.clock = clock
+        self.enabled = enabled
+        self.dropped = 0
+        self._ids = itertools.count(1)
+        self._stack: List[int] = []          # open-span ids, innermost last
+        self._finished: Deque[SpanRecord] = deque(maxlen=max_spans)
+
+    def span(self, name: str, **attrs: Any):
+        """Open a span.  Returns the shared no-op span when disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        parent = self._stack[-1] if self._stack else None
+        sp = Span(self, next(self._ids), parent, name, self.clock(), attrs)
+        self._stack.append(sp.span_id)
+        return sp
+
+    def _finish(self, sp: Span) -> None:
+        # spans normally close innermost-first; tolerate out-of-order
+        # closes from interleaved event callbacks
+        if sp.span_id in self._stack:
+            self._stack.remove(sp.span_id)
+        if len(self._finished) == self._finished.maxlen:
+            self.dropped += 1
+        self._finished.append(SpanRecord(
+            span_id=sp.span_id, parent_id=sp.parent_id, name=sp.name,
+            start=sp.start, end=self.clock(), attrs=sp.attrs))
+
+    @property
+    def spans(self) -> List[SpanRecord]:
+        return list(self._finished)
+
+    def by_name(self, name: str) -> List[SpanRecord]:
+        return [s for s in self._finished if s.name == name]
+
+    def clear(self) -> None:
+        self._finished.clear()
+        self._stack.clear()
+        self.dropped = 0
+
+    def report(self) -> Dict[str, Any]:
+        """Aggregate + raw dump; stable for JSON export."""
+        agg: Dict[str, Dict[str, float]] = {}
+        for s in self._finished:
+            a = agg.setdefault(s.name, {"count": 0, "total": 0.0,
+                                        "max": 0.0})
+            a["count"] += 1
+            a["total"] += s.duration
+            if s.duration > a["max"]:
+                a["max"] = s.duration
+        return {
+            "enabled": self.enabled,
+            "dropped": self.dropped,
+            "aggregate": agg,
+            "spans": [s.to_dict() for s in self._finished],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.report(), indent=indent, sort_keys=True)

@@ -13,12 +13,16 @@ loss — are exactly what the bandwidth-sweep experiment (EX.3) reports.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Deque, Dict, Optional
 
 from repro.atm.network import DeliveryInfo
 from repro.atm.simulator import Simulator
 from repro.streaming.sender import unpack_frame
+
+#: raw per-frame delay samples kept (full distribution in metrics)
+DELAY_SAMPLE_CAP = 4096
 
 
 @dataclass
@@ -29,8 +33,11 @@ class PlayoutStats:
     startup_delay: float = 0.0
     stalls: int = 0
     rebuffer_time: float = 0.0
-    #: per-frame network delay samples
-    delays: List[float] = field(default_factory=list)
+    #: pre-roll fill: frames buffered at the instant playback started
+    preroll_frames: int = 0
+    #: most recent per-frame network delay samples (bounded)
+    delays: Deque[float] = field(
+        default_factory=lambda: deque(maxlen=DELAY_SAMPLE_CAP))
 
     @property
     def stall_free(self) -> bool:
@@ -42,11 +49,20 @@ class VideoPlayer:
 
     def __init__(self, sim: Simulator, *, preroll: float = 0.5,
                  skip_grace: float = 2.0,
-                 frames_expected: int = 0) -> None:
+                 frames_expected: int = 0, name: str = "player") -> None:
         self.sim = sim
         self.preroll = preroll
         self.skip_grace = skip_grace
         self.stats = PlayoutStats(frames_expected=frames_expected)
+        metrics = sim.metrics
+        self._m_lateness = metrics.histogram(
+            "player", "frame_lateness_seconds", player=name)
+        self._m_buffer = metrics.gauge("player", "buffer_frames", player=name)
+        self._m_preroll = metrics.gauge("player", "preroll_fill_frames",
+                                        player=name)
+        self._m_stalls = metrics.counter("player", "stalls", player=name)
+        self._m_skipped = metrics.counter("player", "frames_skipped",
+                                          player=name)
         self._buffer: Dict[int, float] = {}   # index -> timestamp
         self._arrival: Dict[int, float] = {}
         self._timestamps: Dict[int, float] = {}
@@ -65,8 +81,13 @@ class VideoPlayer:
         self._buffer[index] = timestamp
         self._arrival[index] = self.sim.now
         self._timestamps[index] = timestamp
+        self._m_buffer.set(len(self._buffer))
         if info is not None:
             self.stats.delays.append(info.delay)
+        if self._clock_offset is not None:
+            # lateness vs the playout deadline; early frames clamp to 0
+            lateness = self.sim.now - (self._clock_offset + timestamp)
+            self._m_lateness.observe(max(0.0, lateness))
         if last:
             self._last_index = index
         if self._first_arrival is None:
@@ -81,6 +102,8 @@ class VideoPlayer:
             + 0.0
         # playout clock: frame with timestamp T plays at offset + T
         self._clock_offset = self.sim.now
+        self.stats.preroll_frames = len(self._buffer)
+        self._m_preroll.set(len(self._buffer))
         self._advance()
 
     # -- playout loop --------------------------------------------------------
@@ -126,6 +149,7 @@ class VideoPlayer:
     def _begin_stall(self) -> None:
         self._stall_started = self.sim.now
         self.stats.stalls += 1
+        self._m_stalls.inc()
         self.sim.schedule(self.skip_grace, self._skip_if_still_missing,
                           self._next_frame)
 
@@ -147,11 +171,13 @@ class VideoPlayer:
             self._clock_offset += stall
             self._stall_started = None
             self.stats.frames_skipped += 1
+            self._m_skipped.inc()
             self._next_frame += 1
             self._advance()
 
     def _play_frame(self, index: int) -> None:
         self.stats.frames_played += 1
         del self._buffer[index]
+        self._m_buffer.set(len(self._buffer))
         self._next_frame = index + 1
         self._advance()

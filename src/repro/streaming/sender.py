@@ -42,9 +42,16 @@ class VideoStreamSender:
         self.bytes_sent = 0
         self.started_at: Optional[float] = None
         self.finished = False
+        label = f"vc{vc.vc_id}"
+        self._m_frames = sim.metrics.counter("streaming", "frames_sent",
+                                             stream=label)
+        self._m_bytes = sim.metrics.counter("streaming", "bytes_sent",
+                                            stream=label)
 
     @property
     def mean_bitrate_bps(self) -> float:
+        if self.stream.duration <= 0:
+            return 0.0
         total = sum(info.size for info in self.stream.frame_infos())
         return total * 8 / self.stream.duration
 
@@ -63,5 +70,7 @@ class VideoStreamSender:
         self.vc.send(pack_frame(index, timestamp, last, frame))
         self.frames_sent += 1
         self.bytes_sent += len(frame)
+        self._m_frames.inc()
+        self._m_bytes.inc(len(frame))
         if last:
             self.finished = True

@@ -43,6 +43,7 @@ class ConnectionStats:
     out_of_order_dropped: int = 0
     decode_errors: int = 0
     acks_sent: int = 0
+    failed: int = 0
 
 
 class Connection:
@@ -52,6 +53,7 @@ class Connection:
                  window: int = 32, retransmit_timeout: float = 0.05,
                  max_retries: int = 30,
                  on_message: Optional[Callable[[Message], None]] = None,
+                 on_error: Optional[Callable[[Exception], None]] = None,
                  name: str = "") -> None:
         if window < 1:
             raise ValueError("window must be >= 1")
@@ -61,9 +63,14 @@ class Connection:
         self.rto = retransmit_timeout
         self.max_retries = max_retries
         self.on_message = on_message
+        #: invoked (instead of raising out of the event loop) when the
+        #: peer is declared unreachable after max_retries timeouts
+        self.on_error = on_error
         self.name = name
         self.stats = ConnectionStats()
         self.closed = False
+        #: set when the connection was torn down by a retry exhaustion
+        self.last_error: Optional[Exception] = None
 
         self._next_seq = 0          # next sequence number to assign
         self._send_base = 0         # oldest unacked sequence
@@ -71,8 +78,19 @@ class Connection:
         self._backlog: Deque[Message] = deque()   # waiting for window space
         self._in_flight: Dict[int, Message] = {}
         self._retries: Dict[int, int] = {}
+        self._sent_at: Dict[int, float] = {}   # first-transmission times
         self._timer: Optional[Event] = None
         self._reassembly: list = []
+        metrics = sim.metrics
+        label = name or f"conn@{id(self):x}"
+        self._m_retransmits = metrics.counter("connection", "retransmits",
+                                              conn=label)
+        self._m_failures = metrics.counter("connection", "failures",
+                                           conn=label)
+        self._m_rtt = metrics.histogram("connection", "rtt_seconds",
+                                        conn=label)
+        self._m_window = metrics.gauge("connection", "window_occupancy",
+                                       conn=label)
         # wire receive side: the caller must route incoming AAL5 PDUs
         # (for the VC underlying this endpoint) to handle_pdu.
 
@@ -114,6 +132,8 @@ class Connection:
         msg.ack = self._recv_next
         self._in_flight[msg.seq] = msg
         self._retries.setdefault(msg.seq, 0)
+        self._sent_at[msg.seq] = self.sim.now
+        self._m_window.set(len(self._in_flight))
         self.endpoint.send(msg.encode())
         self.stats.sent += 1
         self._arm_timer()
@@ -132,15 +152,27 @@ class Connection:
         base = min(self._in_flight)
         self._retries[base] = self._retries.get(base, 0) + 1
         if self._retries[base] > self.max_retries:
-            self.closed = True
-            raise NetworkError(
+            # tear down fully, then report through the error callback:
+            # raising here would unwind the simulator loop and leave
+            # the connection half-torn-down (timer armed, state stale)
+            error = NetworkError(
                 f"connection {self.name}: message seq={base} exceeded "
                 f"{self.max_retries} retries; peer unreachable")
+            self.close()
+            self.last_error = error
+            self.stats.failed += 1
+            self._m_failures.inc()
+            if self.on_error is not None:
+                self.on_error(error)
+            return
         for seq in sorted(self._in_flight):
             msg = self._in_flight[seq]
             msg.ack = self._recv_next
+            # Karn's rule: a retransmitted segment yields no RTT sample
+            self._sent_at.pop(seq, None)
             self.endpoint.send(msg.encode())
             self.stats.retransmitted += 1
+            self._m_retransmits.inc()
         self._arm_timer()
 
     # -- receiving -------------------------------------------------------
@@ -173,7 +205,11 @@ class Connection:
         for seq in [s for s in self._in_flight if s < ack]:
             del self._in_flight[seq]
             self._retries.pop(seq, None)
+            sent_at = self._sent_at.pop(seq, None)
+            if sent_at is not None:
+                self._m_rtt.observe(self.sim.now - sent_at)
             advanced = True
+        self._m_window.set(len(self._in_flight))
         if ack > self._send_base:
             self._send_base = ack
         if advanced:
@@ -211,6 +247,12 @@ class Connection:
             self._timer = None
         self._backlog.clear()
         self._in_flight.clear()
+        self._retries.clear()
+        self._sent_at.clear()
+        # a half-reassembled fragment chain must not splice stale bytes
+        # into a message delivered after reuse of the receive path
+        self._reassembly = []
+        self._m_window.set(0)
 
 
 def connect_pair(sim: Simulator, network, a: str, b: str, contract, *,

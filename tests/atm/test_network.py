@@ -156,6 +156,93 @@ class TestVcLifecycle:
             ch.endpoint("other")
 
 
+class TestSendTimeLeakRegression:
+    """Host._send_times leaked one entry per PDU whose last cell was
+    dropped; entries must be evicted on VC close and the map bounded."""
+
+    def test_close_vc_evicts_in_flight_send_times(self):
+        sim = Simulator()
+        net, _ = star_campus(sim, ["a", "b"])
+        vc = net.open_vc("a", "b", ubr(), lambda p, i: None)
+        for _ in range(5):
+            vc.send(bytes(100))
+        host = net.hosts["a"]
+        assert len(host._send_times) == 5  # nothing delivered yet
+        net.close_vc(vc)
+        assert len(host._send_times) == 0
+
+    def test_lossy_link_does_not_grow_map_unbounded(self, monkeypatch):
+        import repro.atm.network as network_mod
+        monkeypatch.setattr(network_mod, "SEND_TIME_CAP", 16)
+        sim = Simulator()
+        net, _ = star_campus(sim, ["a", "b"])
+        # lose every cell: no PDU ever delivers, so no entry is popped
+        net.links[("a", "sw0")].inject_errors(0.999999, seed=7)
+        vc = net.open_vc("a", "b", ubr(pcr=1e6), lambda p, i: None)
+        host = net.hosts["a"]
+        for _ in range(100):
+            vc.send(bytes(40))
+            sim.run(until=sim.now + 0.01)
+        assert len(host._send_times) <= 16
+
+    def test_delay_samples_are_bounded(self):
+        from repro.atm.network import DELAY_SAMPLE_CAP
+        sim = Simulator()
+        net, _ = star_campus(sim, ["a", "b"])
+        vc = net.open_vc("a", "b", ubr(pcr=1e7), lambda p, i: None)
+        assert vc.stats.delays.maxlen == DELAY_SAMPLE_CAP
+
+
+class TestCloseReopen:
+    def test_close_then_reopen_fully_releases_resources(self):
+        sim = Simulator()
+        net, _ = star_campus(sim, ["a", "b"], access_bps=10e6)
+        contract = TrafficContract(ServiceCategory.CBR, pcr=20000)  # 8.5 Mb/s
+        vc = net.open_vc("a", "b", contract, lambda p, i: None)
+        sw = net.switches["sw0"]
+        assert len(sw._table) == 1
+        net.close_vc(vc)
+        # bandwidth and label-table entries are fully released ...
+        assert all(link.reserved_bps == 0.0 for link in net.links.values())
+        assert len(sw._table) == 0
+        assert vc.last_vci not in net.hosts["b"]._rx
+        # ... so an identical contract admits again, and delivers
+        got = []
+        vc2 = net.open_vc("a", "b", contract, lambda p, i: got.append(p))
+        vc2.send(bytes(500))
+        sim.run(until=1.0)
+        assert got == [bytes(500)]
+
+    def test_close_is_idempotent(self):
+        sim = Simulator()
+        net, _ = star_campus(sim, ["a", "b"])
+        vc = net.open_vc("a", "b", ubr(), lambda p, i: None)
+        net.close_vc(vc)
+        net.close_vc(vc)  # second close is a no-op, not an error
+
+
+class TestVcMetrics:
+    def test_delay_histogram_populated(self):
+        sim = Simulator()
+        net, _ = star_campus(sim, ["a", "b"])
+        vc = net.open_vc("a", "b", ubr(), lambda p, i: None)
+        vc.send(bytes(1000))
+        sim.run(until=1.0)
+        assert vc.delay_hist.count == 1
+        assert vc.delay_hist.mean > 0
+        rep = sim.metrics.report()
+        assert rep["vc"]["pdu_delay_seconds"][0]["count"] == 1
+
+    def test_link_drop_counters(self):
+        sim = Simulator()
+        net, _ = star_campus(sim, ["a", "b"], buffer_cells=4)
+        vc = net.open_vc("a", "b", ubr(pcr=1e9), lambda p, i: None)
+        vc.send(bytes(40000))  # floods the 4-cell buffer instantly
+        sim.run(until=1.0)
+        drops = sim.metrics.find("link", "drops_total")
+        assert sum(c.value for c in drops.values()) > 0
+
+
 class TestWanDelivery:
     def test_delivery_across_ring(self):
         sim = Simulator()

@@ -97,6 +97,47 @@ class TestScheduling:
         assert fired == [0, 1, 2]
 
 
+class TestMaxEventsClockRegression:
+    """run(until, max_events) must not jump the clock over queued
+    events: doing so made a follow-up run() execute them with time
+    moving backwards."""
+
+    def test_clock_stays_at_last_executed_event(self):
+        sim = Simulator()
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda: None)
+        sim.run(until=10.0, max_events=1)
+        assert sim.now == 1.0  # not fast-forwarded to 10.0
+
+    def test_time_never_moves_backwards_across_runs(self):
+        sim = Simulator()
+        seen = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda: seen.append(sim.now))
+        sim.run(until=10.0, max_events=1)
+        sim.run(until=10.0)
+        assert seen == [1.0, 2.0, 3.0]
+        assert seen == sorted(seen)
+        assert sim.now == 10.0
+
+    def test_fast_forward_when_remaining_events_beyond_until(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(50.0, lambda: None)
+        # budget stops us after the 1.0 event; the only survivor is at
+        # 50.0 > until, so composing runs may still advance to until
+        sim.run(until=10.0, max_events=1)
+        assert sim.now == 10.0
+
+    def test_fast_forward_ignores_cancelled_events(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        ev = sim.schedule(5.0, lambda: None)
+        ev.cancel()
+        sim.run(until=10.0, max_events=1)
+        assert sim.now == 10.0
+
+
 class TestProcess:
     def test_process_yields_delays(self):
         sim = Simulator()

@@ -58,6 +58,21 @@ class TestDeployment:
         assert snap["sites"]["database"] == "database"
         assert "author1" in snap["sites"]["authors"]
 
+    def test_snapshot_has_metrics_section(self):
+        mits = deploy()
+        snap = mits.snapshot()
+        metrics = snap["metrics"]
+        # the layers the deployment exercised are all represented
+        assert "simulator" in metrics
+        assert metrics["simulator"]["events_run"][0]["value"] > 0
+        assert "vc" in metrics and "pdu_delay_seconds" in metrics["vc"]
+        assert any(h["count"] > 0 for h in metrics["vc"]["pdu_delay_seconds"])
+        assert "link" in metrics and "drops_total" in metrics["link"]
+        assert "connection" in metrics and "retransmits" in metrics["connection"]
+        # and the dump is JSON-serialisable as-is
+        import json
+        json.dumps(snap["metrics"])
+
     def test_courseware_keywords_indexed(self):
         mits = deploy()
         assert mits.database.db.docs_by_keyword("broadband") == ["atm-101"]

@@ -1,0 +1,150 @@
+"""Tests for the metrics registry (counters, gauges, histograms)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry, NULL_COUNTER, NULL_GAUGE, NULL_HISTOGRAM, TIME_BUCKETS,
+)
+from repro.obs.metrics import Histogram
+
+
+class TestCounter:
+    def test_inc(self):
+        reg = MetricsRegistry()
+        c = reg.counter("link", "drops", link="a->b")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_memoised_by_key(self):
+        reg = MetricsRegistry()
+        a = reg.counter("link", "drops", link="a->b")
+        b = reg.counter("link", "drops", link="a->b")
+        other = reg.counter("link", "drops", link="b->a")
+        assert a is b
+        assert a is not other
+
+    def test_label_order_irrelevant(self):
+        reg = MetricsRegistry()
+        a = reg.counter("vc", "pdus", vc=1, route="a->b")
+        b = reg.counter("vc", "pdus", route="a->b", vc=1)
+        assert a is b
+
+    def test_kind_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x", "y")
+        with pytest.raises(TypeError):
+            reg.gauge("x", "y")
+
+
+class TestGauge:
+    def test_set_tracks_watermarks(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("link", "occupancy", link="l")
+        g.set(3)
+        g.set(10)
+        g.set(1)
+        assert g.value == 1
+        assert g.min == 1
+        assert g.max == 10
+
+    def test_add(self):
+        g = MetricsRegistry().gauge("c", "n")
+        g.add(2.5)
+        g.add(-1.0)
+        assert g.value == 1.5
+
+
+class TestHistogram:
+    def test_observe_and_stats(self):
+        h = Histogram(buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(6.05)
+        assert h.min == 0.05
+        assert h.max == 5.0
+        assert h.counts == [1, 2, 1]
+
+    def test_overflow_bucket(self):
+        h = Histogram(buckets=(1.0,))
+        h.observe(100.0)
+        assert h.overflow == 1
+
+    def test_nan_ignored(self):
+        h = Histogram()
+        h.observe(float("nan"))
+        assert h.count == 0
+
+    def test_quantile(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.6, 3.0):
+            h.observe(v)
+        assert h.quantile(0.5) == 2.0
+        assert h.quantile(1.0) == 4.0
+
+    def test_default_buckets_are_time_ladder(self):
+        h = Histogram()
+        assert h.bounds == TIME_BUCKETS
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(2.0, 1.0))
+
+    def test_bounded_memory(self):
+        h = Histogram()
+        for i in range(100_000):
+            h.observe(i * 1e-6)
+        assert h.count == 100_000
+        assert len(h.counts) == len(TIME_BUCKETS)
+
+
+class TestDisabledRegistry:
+    def test_null_instruments(self):
+        reg = MetricsRegistry(enabled=False)
+        assert reg.counter("a", "b") is NULL_COUNTER
+        assert reg.gauge("a", "b") is NULL_GAUGE
+        assert reg.histogram("a", "b") is NULL_HISTOGRAM
+        # mutators are no-ops, not errors
+        reg.counter("a", "b").inc()
+        reg.gauge("a", "b").set(5)
+        reg.histogram("a", "b").observe(1.0)
+        assert len(reg) == 0
+        assert reg.report() == {}
+
+
+class TestExport:
+    def test_report_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("link", "drops", link="a->b").inc(3)
+        reg.histogram("vc", "delay", vc=1).observe(0.01)
+        rep = reg.report()
+        [drops] = rep["link"]["drops"]
+        assert drops["labels"] == {"link": "a->b"}
+        assert drops["value"] == 3
+        [delay] = rep["vc"]["delay"]
+        assert delay["count"] == 1
+
+    def test_to_json_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "n").inc()
+        reg.gauge("c", "g").set(2.0)
+        reg.histogram("c", "h").observe(0.5)
+        back = json.loads(reg.to_json())
+        assert back["c"]["n"][0]["value"] == 1
+
+    def test_find(self):
+        reg = MetricsRegistry()
+        reg.counter("link", "drops", link="x").inc()
+        reg.counter("link", "drops", link="y").inc()
+        reg.counter("vc", "pdus").inc()
+        assert len(reg.find("link", "drops")) == 2
+        assert len(reg.find("vc")) == 1
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "n").inc()
+        reg.reset()
+        assert reg.report() == {}

@@ -1,0 +1,89 @@
+"""Tests for the span tracer."""
+
+from repro.atm.simulator import Simulator
+from repro.obs import Tracer
+from repro.obs.tracing import NULL_SPAN
+
+
+class TestDisabled:
+    def test_disabled_returns_shared_null_span(self):
+        tr = Tracer(clock=lambda: 0.0)
+        assert tr.span("x") is NULL_SPAN
+        assert tr.span("y") is NULL_SPAN
+        with tr.span("z", a=1) as sp:
+            sp.set(b=2)
+        assert tr.spans == []
+
+
+class TestSpans:
+    def test_span_records_simulated_interval(self):
+        sim = Simulator()
+        tr = Tracer(clock=lambda: sim.now, enabled=True)
+        sp = tr.span("download", course="B101")
+        sim.schedule(2.5, sp.end)
+        sim.run()
+        [rec] = tr.spans
+        assert rec.name == "download"
+        assert rec.start == 0.0
+        assert rec.end == 2.5
+        assert rec.duration == 2.5
+        assert rec.attrs == {"course": "B101"}
+
+    def test_nesting_assigns_parents(self):
+        t = [0.0]
+        tr = Tracer(clock=lambda: t[0], enabled=True)
+        with tr.span("outer") as outer:
+            t[0] = 1.0
+            with tr.span("inner"):
+                t[0] = 2.0
+        inner_rec, outer_rec = tr.spans
+        assert inner_rec.name == "inner"
+        assert inner_rec.parent_id == outer.span_id
+        assert outer_rec.parent_id is None
+
+    def test_context_manager_records_error(self):
+        tr = Tracer(clock=lambda: 0.0, enabled=True)
+        try:
+            with tr.span("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        [rec] = tr.spans
+        assert rec.attrs["error"] == "ValueError"
+
+    def test_double_end_is_idempotent(self):
+        tr = Tracer(clock=lambda: 0.0, enabled=True)
+        sp = tr.span("once")
+        sp.end()
+        sp.end()
+        assert len(tr.spans) == 1
+
+    def test_bounded_with_drop_count(self):
+        tr = Tracer(clock=lambda: 0.0, enabled=True, max_spans=10)
+        for i in range(25):
+            tr.span(f"s{i}").end()
+        assert len(tr.spans) == 10
+        assert tr.dropped == 15
+
+    def test_report_aggregates_by_name(self):
+        t = [0.0]
+        tr = Tracer(clock=lambda: t[0], enabled=True)
+        for dur in (1.0, 3.0):
+            sp = tr.span("load")
+            t[0] += dur
+            sp.end()
+        rep = tr.report()
+        assert rep["aggregate"]["load"]["count"] == 2
+        assert rep["aggregate"]["load"]["total"] == 4.0
+        assert rep["aggregate"]["load"]["max"] == 3.0
+
+
+class TestSimulatorIntegration:
+    def test_simulator_owns_a_tracer(self):
+        sim = Simulator()
+        assert sim.tracer.enabled is False
+        sim.tracer.enabled = True
+        sp = sim.tracer.span("tick")
+        sim.schedule(1.0, sp.end)
+        sim.run()
+        assert sim.tracer.by_name("tick")[0].duration == 1.0

@@ -104,3 +104,41 @@ class TestPlayer:
         sim, sender, player = run_stream(video)
         assert len(player.stats.delays) > 0
         assert all(d >= 0 for d in player.stats.delays)
+
+
+class TestEmptyStreamRegression:
+    """mean_bitrate_bps raised ZeroDivisionError for an empty or
+    zero-duration stream; it must report 0.0 instead."""
+
+    def _empty_stream_sender(self):
+        import struct
+        sim = Simulator()
+        net, _ = star_campus(sim, ["server", "client"])
+        vc = net.open_vc("server", "client",
+                         TrafficContract(ServiceCategory.UBR, pcr=1e5),
+                         lambda p, i: None)
+        # a structurally valid SMPG sequence with zero frames (the
+        # codec itself refuses to encode one, but a stored/truncated
+        # asset can still present one to the sender)
+        data = b"SMPG" + struct.pack(">HHHfB", 0, 8, 8, 10.0, 12) + bytes([60])
+        return sim, VideoStreamSender(sim, vc, data)
+
+    def test_zero_duration_bitrate_is_zero(self):
+        sim, sender = self._empty_stream_sender()
+        assert sender.mean_bitrate_bps == 0.0
+
+    def test_empty_stream_start_is_harmless(self):
+        sim, sender = self._empty_stream_sender()
+        sender.start()
+        sim.run(until=1.0)
+        assert sender.frames_sent == 0
+
+
+class TestPlayerMetrics:
+    def test_preroll_and_lateness_recorded(self, video):
+        sim, sender, player = run_stream(video)
+        assert player.stats.preroll_frames > 0
+        rep = sim.metrics.report()
+        [preroll] = rep["player"]["preroll_fill_frames"]
+        assert preroll["value"] == player.stats.preroll_frames
+        assert "frame_lateness_seconds" in rep["player"]

@@ -5,7 +5,7 @@ import pytest
 from repro.atm import Simulator, TrafficContract, ServiceCategory
 from repro.atm.topology import star_campus
 from repro.transport.connection import Connection, connect_pair, MAX_FRAGMENT_BODY
-from repro.transport.messages import Message, MessageType
+from repro.transport.messages import FLAG_MORE_FRAGMENTS, Message, MessageType
 from repro.util.errors import DecodingError, NetworkError
 
 
@@ -140,3 +140,90 @@ class TestFragmentation:
         ca.send(Message(type=MessageType.DATA, body=b"small"))
         sim.run(until=5.0)
         assert got == [big, b"small"]
+
+
+class TestCloseStateRegression:
+    """close() left _reassembly populated: a reused callback path or a
+    late-arriving fragment could splice stale bytes into a later
+    message."""
+
+    def test_close_clears_reassembly(self):
+        sim, net, ca, cb = setup_pair()
+        cb.on_message = lambda m: None
+        # deliver only the first fragment of a large message, then close
+        big = bytes(MAX_FRAGMENT_BODY * 2)
+        ca.send(Message(type=MessageType.DATA, body=big))
+        sim.run(max_events=400)  # partial delivery
+        cb.close()
+        assert cb._reassembly == []
+        assert cb._retries == {}
+        assert cb._in_flight == {}
+
+    def test_stale_fragments_not_spliced_after_close(self):
+        sim, net, ca, cb = setup_pair()
+        got = []
+        cb.on_message = lambda m: got.append(m.body)
+        frag = Message(type=MessageType.DATA, body=b"stale-prefix",
+                       flags=FLAG_MORE_FRAGMENTS)
+        frag.seq = cb._recv_next
+        cb.handle_pdu(frag.encode(), None)
+        assert cb._reassembly  # half-reassembled
+        cb.close()
+        # reuse the receive path (as a pooled callback would)
+        cb.closed = False
+        tail = Message(type=MessageType.DATA, body=b"fresh")
+        tail.seq = cb._recv_next
+        cb.handle_pdu(tail.encode(), None)
+        sim.run(until=1.0)
+        assert got == [b"fresh"]  # no b"stale-prefix" spliced in
+
+
+class TestMaxRetriesErrorPath:
+    """Retry exhaustion must tear the connection down and report via
+    on_error instead of raising out of the simulator loop."""
+
+    def _dead_peer_pair(self):
+        sim = Simulator()
+        net, _ = star_campus(sim, ["a", "b"])
+        # sever the path: every cell vanishes on the access link
+        net.links[("a", "sw0")].inject_errors(0.999999, seed=3)
+        contract = TrafficContract(ServiceCategory.UBR, pcr=1e6)
+        ca, cb = connect_pair(sim, net, "a", "b", contract)
+        return sim, ca
+
+    def test_on_error_invoked_with_teardown_complete(self):
+        sim, ca = self._dead_peer_pair()
+        errors = []
+        ca.max_retries = 2
+        ca.on_error = errors.append
+        ca.send(Message(type=MessageType.DATA, body=b"into the void"))
+        sim.run(until=60.0)  # never raises out of the loop
+        assert len(errors) == 1
+        assert isinstance(errors[0], NetworkError)
+        assert ca.closed
+        assert ca._in_flight == {}
+        assert ca._timer is None
+        assert ca.stats.failed == 1
+
+    def test_without_callback_failure_is_recorded_not_raised(self):
+        sim, ca = self._dead_peer_pair()
+        ca.max_retries = 2
+        ca.send(Message(type=MessageType.DATA, body=b"x"))
+        sim.run(until=60.0)  # must not raise
+        assert ca.closed
+        assert isinstance(ca.last_error, NetworkError)
+
+
+class TestTransportMetrics:
+    def test_rtt_and_retransmit_metrics(self):
+        sim, net, ca, cb = setup_pair()
+        cb.on_message = lambda m: None
+        for i in range(5):
+            ca.send(Message(type=MessageType.DATA, body=b"m%d" % i))
+        sim.run(until=2.0)
+        assert ca._m_rtt.count >= 1
+        assert ca._m_rtt.mean > 0
+        assert ca._m_window.max >= 1
+        rep = sim.metrics.report()
+        assert "connection" in rep
+        assert "retransmits" in rep["connection"]
