@@ -106,26 +106,43 @@ def emit_metrics(mits: MitsSystem, name: str) -> str:
     Written next to the pytest-benchmark output (override the
     directory with ``BENCH_METRICS_DIR``) so each ``BENCH_*.json``
     trajectory has a matching ``metrics_<name>.json`` and per-layer
-    numbers stay comparable across PRs.
+    numbers stay comparable across PRs.  A ``trace_<name>.jsonl``
+    sidecar carries the span tree and flight-recorder events for
+    ``python -m repro.obs report`` to render.
     """
     out_dir = os.environ.get(
         "BENCH_METRICS_DIR",
         os.path.join(os.path.dirname(os.path.abspath(__file__)), "out"))
     os.makedirs(out_dir, exist_ok=True)
+    metrics_report = mits.sim.metrics.report()
     path = os.path.join(out_dir, f"metrics_{name}.json")
     dump = {
         "name": name,
         "sim_time": mits.sim.now,
         "events_run": mits.sim.events_run,
-        "metrics": mits.sim.metrics.report(),
+        "metrics": metrics_report,
+        "slo": mits.slos.summary(metrics_report),
     }
     with open(path, "w") as fh:
         json.dump(dump, fh, indent=2, sort_keys=True)
+    trace_path = os.path.join(out_dir, f"trace_{name}.jsonl")
+    with open(trace_path, "w") as fh:
+        for span in mits.sim.tracer.spans:
+            fh.write(json.dumps({"record": "span", **span.to_dict()},
+                                sort_keys=True) + "\n")
+        for event in mits.sim.recorder.events:
+            fh.write(json.dumps({"record": "event", **event.to_dict()},
+                                sort_keys=True) + "\n")
     return path
 
 
 def deploy_mits(topology: str = "star", **kwargs) -> MitsSystem:
-    """A deployed system with the standard course published."""
+    """A deployed system with the standard course published.
+
+    Tracing is on so every scenario's ``trace_*.jsonl`` sidecar has
+    cross-site span trees to render.
+    """
+    kwargs.setdefault("tracing", True)
     mits = MitsSystem(topology=topology, **kwargs)
     catalog = build_catalog()
     for media in catalog.values():

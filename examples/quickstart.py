@@ -21,7 +21,9 @@ from repro.core import MitsSystem
 
 def main() -> MitsSystem:
     # 1. deploy (production, author, database, facilitator, user sites)
-    mits = MitsSystem(topology="star")
+    # with request tracing on, so every cross-site flow leaves a span
+    # tree behind (inspect with `python -m repro.obs`)
+    mits = MitsSystem(topology="star", tracing=True)
     print("deployed sites:", mits.snapshot()["sites"])
 
     # 2. produce and publish media

@@ -119,6 +119,9 @@ class Link:
         self._m_drops.inc()
         self._metrics.counter("link", "drops", link=self._label,
                               reason=reason, category=category).inc()
+        self.sim.recorder.record("atm", "cell_drop", severity="warning",
+                                 link=self._label, reason=reason,
+                                 category=category)
 
     def _shed_low_priority(self, arriving: ServiceCategory) -> bool:
         """Try to make room for an *arriving*-class cell by dropping a

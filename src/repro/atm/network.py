@@ -343,6 +343,9 @@ class AtmNetwork:
         if not vc.open:
             return
         vc.open = False
+        self.sim.recorder.record(
+            "atm", "vc_close", vc=vc.vc_id,
+            route=f"{vc.path[0]}->{vc.path[-1]}")
         eff_bw = vc.contract.effective_bandwidth_bps()
         in_vci = vc.first_vci
         in_port = vc.path[0]

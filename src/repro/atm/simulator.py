@@ -19,6 +19,7 @@ import time as _time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro.obs.events import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer
 
@@ -46,16 +47,19 @@ class Simulator:
 
     def __init__(self, *, metrics: Optional[MetricsRegistry] = None,
                  tracer: Optional[Tracer] = None,
+                 recorder: Optional[FlightRecorder] = None,
                  profile_callbacks: bool = False) -> None:
         self._queue: list[Event] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._events_run = 0
         #: shared observability: every component attached to this
-        #: simulator records into the same registry/tracer
+        #: simulator records into the same registry/tracer/recorder
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else \
             Tracer(clock=lambda: self._now)
+        self.recorder = recorder if recorder is not None else \
+            FlightRecorder(clock=lambda: self._now)
         #: when True, each callback's wall-clock cost is histogrammed
         #: by callsite (the callback's qualified name) — costs a
         #: perf_counter pair per event, so off by default

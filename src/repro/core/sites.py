@@ -41,6 +41,7 @@ class DatabaseSite:
         self.network = network
         self.host = host
         self.db = CoursewareDatabase()
+        self.db.content.tracer = sim.tracer
         self.server = DatabaseServer(self.db)
         self.service_time = service_time
         #: one CPU for the whole site: concurrent requests queue here,

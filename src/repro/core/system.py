@@ -20,6 +20,7 @@ from repro.core.sites import (
 )
 from repro.database.api import wait_for
 from repro.media.base import MediaObject
+from repro.obs.slo import SloMonitor
 from repro.util.errors import NetworkError
 
 
@@ -27,8 +28,11 @@ class MitsSystem:
     """A deployed MITS instance over a simulated ATM network."""
 
     def __init__(self, *, topology: str = "star", extra_users: int = 0,
-                 seed: int = 1996, access_bps: float = 155.52e6) -> None:
+                 seed: int = 1996, access_bps: float = 155.52e6,
+                 tracing: bool = False) -> None:
         self.sim = Simulator()
+        self.sim.tracer.enabled = tracing
+        self.slos = SloMonitor()
         self.seed = seed
         if topology == "star":
             hosts = ["production", "author1", "database", "facilitator",
@@ -112,7 +116,12 @@ class MitsSystem:
         The ``metrics`` section is the full registry dump — per-VC
         delay histograms, link drop counters, connection retransmit
         counts, MHEG sync skew — everything the layers recorded.
+        ``slo`` judges it against the default objectives, ``events``
+        is the flight-recorder ring, and ``trace`` summarises the
+        span tracer (per-name duration aggregates, not raw spans).
         """
+        metrics_report = self.sim.metrics.report()
+        tracer = self.sim.tracer
         return {
             "topology": self.spec.name,
             "switches": list(self.spec.switches),
@@ -126,5 +135,13 @@ class MitsSystem:
             "db_statistics": self.database.db.statistics(),
             "events_run": self.sim.events_run,
             "sim_time": self.sim.now,
-            "metrics": self.sim.metrics.report(),
+            "metrics": metrics_report,
+            "slo": self.slos.summary(metrics_report),
+            "events": self.sim.recorder.snapshot(),
+            "trace": {
+                "enabled": tracer.enabled,
+                "spans": len(tracer.spans),
+                "dropped": tracer.dropped,
+                "aggregate": tracer.aggregate(),
+            },
         }

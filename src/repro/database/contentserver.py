@@ -9,11 +9,12 @@ objects or frame-granular video streams.
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from typing import Iterator, List, Optional
 
 from repro.database.schema import ContentRecord
 from repro.database.store import ObjectStore
 from repro.media.video import VideoStream
+from repro.obs.tracing import NULL_SPAN, Tracer
 from repro.util.errors import DatabaseError
 
 CONTENT_COLLECTION = "content"
@@ -22,22 +23,30 @@ CONTENT_COLLECTION = "content"
 class ContentServer:
     """Serves content records out of an object store."""
 
-    def __init__(self, store: ObjectStore, chunk_size: int = 8192) -> None:
+    def __init__(self, store: ObjectStore, chunk_size: int = 8192, *,
+                 tracer: Optional[Tracer] = None) -> None:
         self.store = store
         self.chunk_size = chunk_size
         self.requests = 0
         self.bytes_served = 0
+        #: wired by the owning site so content lookups appear in the
+        #: request's cross-site trace (under the rpc.server span)
+        self.tracer = tracer
 
     def put(self, record: ContentRecord) -> None:
         self.store.put(CONTENT_COLLECTION, record.content_ref, record)
 
     def get(self, content_ref: str) -> ContentRecord:
         self.requests += 1
-        record = self.store.get_or_none(CONTENT_COLLECTION, content_ref)
-        if record is None:
-            raise DatabaseError(f"no content object {content_ref!r}")
-        self.bytes_served += record.size
-        return record
+        span = self.tracer.span("db.get_content", content_ref=content_ref) \
+            if self.tracer is not None else NULL_SPAN
+        with span:
+            record = self.store.get_or_none(CONTENT_COLLECTION, content_ref)
+            if record is None:
+                raise DatabaseError(f"no content object {content_ref!r}")
+            self.bytes_served += record.size
+            span.set(bytes=record.size)
+            return record
 
     def exists(self, content_ref: str) -> bool:
         return self.store.exists(CONTENT_COLLECTION, content_ref)

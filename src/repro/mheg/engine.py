@@ -36,7 +36,9 @@ from repro.mheg.runtime import (
     Channel, RtKind, RtObject, RtState, rt_kind_for,
 )
 from repro.mheg.sync import validate_spec
+from repro.obs.events import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
 from repro.util.errors import PresentationError
 
 
@@ -103,9 +105,14 @@ class MhegEngine:
         self._local_seq = itertools.count()
         self.stats = {"decoded": 0, "encoded": 0, "links_fired": 0,
                       "actions_applied": 0, "rt_created": 0}
-        #: attached engines record into the deployment-wide registry;
-        #: standalone engines own a private one
+        #: attached engines record into the deployment-wide registry,
+        #: tracer, and flight recorder; standalone engines own private
+        #: ones (tracing stays disabled there unless a test enables it)
         self.metrics = sim.metrics if sim is not None else MetricsRegistry()
+        self.tracer = sim.tracer if sim is not None \
+            else Tracer(clock=lambda: self._local_time)
+        self.recorder = sim.recorder if sim is not None \
+            else FlightRecorder(clock=lambda: self._local_time)
         self._m_links_fired = self.metrics.counter("mheg", "links_fired",
                                                    engine=name)
         self._m_actions = self.metrics.counter("mheg", "actions_applied",
@@ -159,9 +166,12 @@ class MhegEngine:
         Containers are unpacked: every carried object is stored
         individually (and the container itself kept for provenance).
         """
-        obj = self.codec.decode(data)
-        self.stats["decoded"] += 1
-        self.store(obj)
+        with self.tracer.span("mheg.receive", engine=self.name,
+                              bytes=len(data)) as span:
+            obj = self.codec.decode(data)
+            self.stats["decoded"] += 1
+            self.store(obj)
+            span.set(object=str(obj.identifier))
         return obj
 
     def store(self, obj: MhObject) -> None:
@@ -203,15 +213,16 @@ class MhegEngine:
         key = str(obj.identifier)
         if key in self._prepared:
             return
-        if isinstance(obj, ContentClass) and obj.content_ref is not None:
-            if obj.content_ref not in self.content_cache:
-                if self.content_resolver is None:
-                    raise PresentationError(
-                        f"{self.name}: {obj} references content "
-                        f"{obj.content_ref!r} but no resolver is installed")
-                self.content_cache[obj.content_ref] = \
-                    self.content_resolver(obj.content_ref)
-        self._prepared.add(key)
+        with self.tracer.span("mheg.prepare", engine=self.name, object=key):
+            if isinstance(obj, ContentClass) and obj.content_ref is not None:
+                if obj.content_ref not in self.content_cache:
+                    if self.content_resolver is None:
+                        raise PresentationError(
+                            f"{self.name}: {obj} references content "
+                            f"{obj.content_ref!r} but no resolver is installed")
+                    self.content_cache[obj.content_ref] = \
+                        self.content_resolver(obj.content_ref)
+            self._prepared.add(key)
         self._emit(key, "prepared", False, True)
 
     def is_prepared(self, reference: ObjectReference) -> bool:
@@ -438,6 +449,11 @@ class MhegEngine:
                 return
         self.stats["links_fired"] += 1
         self._m_links_fired.inc()
+        ambient = self.tracer.current
+        self.recorder.record(
+            "mheg", "link_fired", engine=self.name,
+            trace_id=ambient.trace_id if ambient is not None else None,
+            link=str(link.identifier))
         if link.once:
             self.disarm_link(ObjectReference(link.identifier))
         effect = link.effect

@@ -22,6 +22,7 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.database.api import DatabaseClient
 from repro.media.text import TextCodec, extract_links
 from repro.navigator.session import LearningSession
+from repro.obs.tracing import Tracer
 from repro.school.service import SchoolClient
 from repro.util.errors import PresentationError
 
@@ -53,6 +54,10 @@ class Navigator:
         self.client = client
         self.school = school
         self.sim = sim
+        #: user-interaction spans root here; each cross-site request a
+        #: screen triggers becomes a child carried over the wire
+        self._tracer = sim.tracer if sim is not None \
+            else Tracer(clock=lambda: 0.0)
         self.state = NavigatorState.ENTRY
         self.student: Optional[Dict[str, Any]] = None
         self.session: Optional[LearningSession] = None
@@ -90,15 +95,28 @@ class Navigator:
         if self.state is not NavigatorState.ENTRY:
             raise PresentationError("login is only possible from the entry screen")
 
+        span = self._tracer.span("navigator.login", student=student_number)
+
         def ok(profile: Dict[str, Any]) -> None:
             self.student = profile
             self.state = NavigatorState.MAIN
             self._note(f"login:{student_number}")
+            span.end()
             if on_done is not None:
                 on_done(profile)
 
-        self.client.get_student(student_number, on_result=ok,
-                                on_error=on_error)
+        def err(error) -> None:
+            span.set(error=str(error))
+            span.end()
+            if on_error is not None:
+                on_error(error)
+
+        token = self._tracer.attach(span.context)
+        try:
+            self.client.get_student(student_number, on_result=ok,
+                                    on_error=err)
+        finally:
+            self._tracer.detach(token)
 
     # -- registration (Fig 5.4) ----------------------------------------------------
 
@@ -110,15 +128,21 @@ class Navigator:
             raise PresentationError("register from the entry screen")
         self.state = NavigatorState.REGISTERING
         self._note("register-dialog")
+        span = self._tracer.span("navigator.register")
 
         def ok(profile: Dict[str, Any]) -> None:
             self.student = profile
             self.state = NavigatorState.MAIN
             self._note(f"registered:{profile['student_number']}")
+            span.end()
             if on_done is not None:
                 on_done(profile)
 
-        self.client.register(name, address, email, on_result=ok)
+        token = self._tracer.attach(span.context)
+        try:
+            self.client.register(name, address, email, on_result=ok)
+        finally:
+            self._tracer.detach(token)
 
     def course_introduction(self, introduction_ref: str, on_chunk=None,
                             on_end=None):
@@ -159,11 +183,24 @@ class Navigator:
         self._require_student()
         self.state = NavigatorState.CLASSROOM
         self._note(f"classroom:{course_code}")
-        self.session = LearningSession(
-            student_number=self.student["student_number"],
-            course_code=course_code, courseware_id=courseware_id,
-            client=self.client, sim=self.sim)
-        self.session.open(on_ready=on_ready)
+        span = self._tracer.span("navigator.enter_classroom",
+                                 course=course_code,
+                                 courseware=courseware_id)
+
+        def ready(session: LearningSession) -> None:
+            span.end()
+            if on_ready is not None:
+                on_ready(session)
+
+        token = self._tracer.attach(span.context)
+        try:
+            self.session = LearningSession(
+                student_number=self.student["student_number"],
+                course_code=course_code, courseware_id=courseware_id,
+                client=self.client, sim=self.sim)
+            self.session.open(on_ready=ready)
+        finally:
+            self._tracer.detach(token)
         return self.session
 
     def leave_classroom(self) -> float:

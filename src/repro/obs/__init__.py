@@ -1,12 +1,15 @@
-"""Observability: the metrics registry and span tracer.
+"""Observability: metrics, tracing, flight recorder, and SLOs.
 
-One :class:`MetricsRegistry` + one :class:`Tracer` pair is owned by
-each :class:`~repro.atm.simulator.Simulator` and shared by every
-component attached to it; ``MitsSystem.snapshot()`` and the benchmark
-harness export their contents so measured trajectories are comparable
-across PRs.
+One :class:`MetricsRegistry` + :class:`Tracer` + :class:`FlightRecorder`
+trio is owned by each :class:`~repro.atm.simulator.Simulator` and
+shared by every component attached to it; ``MitsSystem.snapshot()``
+and the benchmark harness export their contents so measured
+trajectories are comparable across PRs.  :class:`SloMonitor` turns a
+metrics report into pass/fail verdicts, and ``python -m repro.obs``
+renders dumps into waterfalls and tables.
 """
 
+from repro.obs.events import SEVERITIES, FlightEvent, FlightRecorder
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -17,10 +20,20 @@ from repro.obs.metrics import (
     NULL_HISTOGRAM,
     TIME_BUCKETS,
 )
-from repro.obs.tracing import NULL_SPAN, Span, SpanRecord, Tracer
+from repro.obs.slo import DEFAULT_SLOS, Slo, SloMonitor, SloResult
+from repro.obs.tracing import (
+    NULL_SPAN,
+    Span,
+    SpanRecord,
+    TraceContext,
+    Tracer,
+)
 
 __all__ = [
     "Counter",
+    "DEFAULT_SLOS",
+    "FlightEvent",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -28,8 +41,13 @@ __all__ = [
     "NULL_GAUGE",
     "NULL_HISTOGRAM",
     "NULL_SPAN",
+    "SEVERITIES",
+    "Slo",
+    "SloMonitor",
+    "SloResult",
     "Span",
     "SpanRecord",
     "TIME_BUCKETS",
+    "TraceContext",
     "Tracer",
 ]

@@ -1,0 +1,101 @@
+"""``python -m repro.obs`` — render metrics/trace dumps and SLO verdicts.
+
+Subcommands::
+
+    report <metrics.json> [--trace trace.jsonl] [--top N] [--strict]
+        Metrics summary + SLO table + span waterfalls.  The trace
+        sidecar is auto-discovered next to ``metrics_<name>.json``
+        when not given.  ``--strict`` exits 1 on SLO violations.
+
+    trace <trace.jsonl> [--top N]
+        Span waterfalls / slow-span table only.
+
+    slo <metrics.json>
+        SLO table only; exits 1 on violations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.obs.report import (
+    find_trace_sidecar,
+    load_metrics_file,
+    load_trace_file,
+    render_metrics_summary,
+    render_slo_table,
+    render_traces,
+)
+from repro.obs.slo import SloMonitor
+
+
+def _report(args: argparse.Namespace) -> int:
+    meta, metrics = load_metrics_file(args.metrics)
+    title = meta.get("name") or args.metrics
+    header = f"== scenario: {title} =="
+    if "sim_time" in meta:
+        header += f"  (sim_time {meta['sim_time']:.3f}s," \
+                  f" {meta.get('events_run', '?')} events)"
+    print(header)
+    print()
+    print(render_metrics_summary(metrics))
+    print()
+    results = SloMonitor().evaluate(metrics)
+    print(render_slo_table(results))
+    trace_path = args.trace or find_trace_sidecar(args.metrics)
+    if trace_path:
+        spans, events = load_trace_file(trace_path)
+        print()
+        print(f"== traces: {trace_path} ==")
+        print(render_traces(spans, events, top=args.top))
+    if args.strict and not all(r.ok for r in results):
+        return 1
+    return 0
+
+
+def _trace(args: argparse.Namespace) -> int:
+    spans, events = load_trace_file(args.trace)
+    print(render_traces(spans, events, top=args.top))
+    return 0
+
+
+def _slo(args: argparse.Namespace) -> int:
+    _, metrics = load_metrics_file(args.metrics)
+    results = SloMonitor().evaluate(metrics)
+    print(render_slo_table(results))
+    return 0 if all(r.ok for r in results) else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Render MITS observability dumps.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_report = sub.add_parser("report", help="metrics + SLOs + traces")
+    p_report.add_argument("metrics", help="metrics_<scenario>.json")
+    p_report.add_argument("--trace", help="trace_<scenario>.jsonl "
+                          "(auto-discovered when omitted)")
+    p_report.add_argument("--top", type=int, default=10,
+                          help="slow spans to list")
+    p_report.add_argument("--strict", action="store_true",
+                          help="exit 1 on SLO violations")
+    p_report.set_defaults(func=_report)
+
+    p_trace = sub.add_parser("trace", help="span waterfalls only")
+    p_trace.add_argument("trace", help="trace_<scenario>.jsonl")
+    p_trace.add_argument("--top", type=int, default=10)
+    p_trace.set_defaults(func=_trace)
+
+    p_slo = sub.add_parser("slo", help="SLO verdicts only")
+    p_slo.add_argument("metrics", help="metrics_<scenario>.json")
+    p_slo.set_defaults(func=_slo)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

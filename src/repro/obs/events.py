@@ -1,0 +1,113 @@
+"""Flight recorder: a bounded ring buffer of structured events.
+
+Metrics say *how much*; traces say *how long*; the flight recorder
+says *what happened* — typed, severity-tagged events for the rare but
+diagnostic occurrences in a run (a cell dropped on a congested link, a
+go-back-N retransmission burst, a VC torn down, a video frame arriving
+late, an MHEG link firing).  Events carry the trace_id of the request
+they belong to when one is known, so a slow span in a trace can be
+correlated with the transport-level trouble that caused it.
+
+The buffer is a fixed-capacity ring: recording is O(1), memory is
+bounded no matter how pathological the run, and the ``dropped``
+counter says how many old events were evicted.  One recorder is owned
+by each :class:`~repro.atm.simulator.Simulator` and shared by every
+component attached to it.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+__all__ = ["FlightEvent", "FlightRecorder", "SEVERITIES"]
+
+#: allowed severity tags, in increasing order of gravity
+SEVERITIES = ("debug", "info", "warning", "error")
+
+
+@dataclass
+class FlightEvent:
+    """One recorded occurrence."""
+
+    time: float
+    component: str
+    kind: str
+    severity: str = "info"
+    trace_id: Optional[int] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "time": self.time,
+            "component": self.component,
+            "kind": self.kind,
+            "severity": self.severity,
+            "trace_id": self.trace_id,
+            "attrs": self.attrs,
+        }
+
+
+class FlightRecorder:
+    """Fixed-capacity event ring against an injected clock."""
+
+    def __init__(self, clock: Callable[[], float], *,
+                 capacity: int = 4096, enabled: bool = True) -> None:
+        self.clock = clock
+        self.enabled = enabled
+        self.dropped = 0
+        self.recorded = 0
+        self._events: Deque[FlightEvent] = deque(maxlen=capacity)
+
+    def record(self, component: str, kind: str, *, severity: str = "info",
+               trace_id: Optional[int] = None, **attrs: Any) -> None:
+        """Append one event; oldest events are evicted when full."""
+        if not self.enabled:
+            return
+        if severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {severity!r}")
+        if len(self._events) == self._events.maxlen:
+            self.dropped += 1
+        self.recorded += 1
+        self._events.append(FlightEvent(
+            time=self.clock(), component=component, kind=kind,
+            severity=severity, trace_id=trace_id, attrs=attrs))
+
+    @property
+    def events(self) -> List[FlightEvent]:
+        return list(self._events)
+
+    def for_trace(self, trace_id: int) -> List[FlightEvent]:
+        """Events correlated to one trace."""
+        return [e for e in self._events if e.trace_id == trace_id]
+
+    def by_kind(self, kind: str) -> List[FlightEvent]:
+        return [e for e in self._events if e.kind == kind]
+
+    def counts(self) -> Dict[str, int]:
+        """Per-kind event counts in the current window."""
+        out: Dict[str, int] = {}
+        for e in self._events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+        self.recorded = 0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-stable dump of the ring (newest last)."""
+        return {
+            "recorded": self.recorded,
+            "dropped": self.dropped,
+            "counts": self.counts(),
+            "events": [e.to_dict() for e in self._events],
+        }
+
+    def to_jsonl(self) -> str:
+        """One event per line, for ``trace_*.jsonl`` sidecar dumps."""
+        return "\n".join(
+            json.dumps(e.to_dict(), sort_keys=True) for e in self._events)

@@ -1,0 +1,270 @@
+"""Rendering for metrics / trace / SLO dumps (the ``repro.obs`` CLI).
+
+Everything here is pure string building over the JSON artefacts the
+benchmarks and ``MitsSystem.snapshot()`` produce:
+
+* ``metrics_<scenario>.json`` — a ``MetricsRegistry.report()`` dump,
+  possibly wrapped in ``{"name", "sim_time", "metrics": ...}``;
+* ``trace_<scenario>.jsonl`` — one span or flight event per line.
+
+The renderers are deliberately plain ASCII so output is stable in CI
+logs and easy to assert on in tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs.slo import SloResult
+
+__all__ = [
+    "find_trace_sidecar",
+    "load_metrics_file",
+    "load_trace_file",
+    "render_metrics_summary",
+    "render_slo_table",
+    "render_slow_spans",
+    "render_trace_tree",
+    "render_traces",
+]
+
+#: character cells in a waterfall bar
+BAR_WIDTH = 32
+
+
+def load_metrics_file(path: str) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    """Returns ``(meta, metrics_report)``.
+
+    Accepts both the benchmark wrapper (``{"name", "sim_time",
+    "events_run", "metrics": {...}}``) and a bare registry report.
+    """
+    with open(path) as fh:
+        payload = json.load(fh)
+    if "metrics" in payload and isinstance(payload["metrics"], dict):
+        meta = {k: v for k, v in payload.items() if k != "metrics"}
+        return meta, payload["metrics"]
+    return {}, payload
+
+
+def load_trace_file(path: str) -> Tuple[List[Dict[str, Any]],
+                                        List[Dict[str, Any]]]:
+    """Returns ``(spans, events)`` from a ``trace_*.jsonl`` dump.
+
+    Lines are classified by their ``record`` tag when present, else by
+    shape (a span has ``span_id``, an event has ``component``).  The
+    tag is deliberately NOT called ``kind`` — flight events already
+    carry a ``kind`` field of their own.
+    """
+    spans: List[Dict[str, Any]] = []
+    events: List[Dict[str, Any]] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            tag = rec.pop("record", None)
+            if tag == "span" or (tag is None and "span_id" in rec):
+                spans.append(rec)
+            elif tag == "event" or (tag is None and "component" in rec):
+                events.append(rec)
+    return spans, events
+
+
+def find_trace_sidecar(metrics_path: str) -> Optional[str]:
+    """``metrics_<name>.json`` → sibling ``trace_<name>.jsonl``, if any."""
+    directory, base = os.path.split(metrics_path)
+    if not base.startswith("metrics_"):
+        return None
+    candidate = os.path.join(
+        directory, "trace_" + base[len("metrics_"):].rsplit(".", 1)[0]
+        + ".jsonl")
+    return candidate if os.path.exists(candidate) else None
+
+
+# -- formatting helpers ----------------------------------------------------
+
+
+def fmt_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value * 1e6:.1f}us"
+
+
+def _fmt_number(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def _pad(text: str, width: int) -> str:
+    return text[:width].ljust(width)
+
+
+# -- metrics ----------------------------------------------------------------
+
+
+def render_metrics_summary(report: Mapping[str, Any]) -> str:
+    """One line per metric name: series count plus headline stats."""
+    lines = ["metric                                   kind       series  "
+             "headline",
+             "-" * 78]
+    for component in sorted(report):
+        for name in sorted(report[component]):
+            entries = report[component][name]
+            kinds = {e.get("type", "?") for e in entries}
+            kind = kinds.pop() if len(kinds) == 1 else "mixed"
+            if kind == "counter":
+                headline = f"total {_fmt_number(sum(e['value'] for e in entries))}"
+            elif kind == "gauge":
+                peaks = [e["max"] for e in entries if e.get("max") is not None]
+                headline = f"peak {_fmt_number(max(peaks))}" if peaks else "-"
+            elif kind == "histogram":
+                samples = sum(e.get("count", 0) for e in entries)
+                p99s = [e["p99"] for e in entries if e.get("count", 0)]
+                headline = f"{samples} samples"
+                if p99s:
+                    headline += (f"  worst p99 {fmt_seconds(max(p99s))}")
+            else:
+                headline = "-"
+            lines.append(f"{_pad(component + '.' + name, 41)}"
+                         f"{_pad(kind, 11)}{len(entries):>6}  {headline}")
+    return "\n".join(lines)
+
+
+# -- SLOs -------------------------------------------------------------------
+
+
+def render_slo_table(results: Sequence[SloResult]) -> str:
+    lines = [_pad("SLO", 22) + _pad("objective", 44)
+             + _pad("observed", 12) + "verdict",
+             "-" * 88]
+    for r in results:
+        slo = r.slo
+        target = f"{slo.component}.{slo.metric} {slo.stat} " \
+                 f"{slo.op} {_fmt_number(slo.threshold)}"
+        if r.skipped:
+            verdict = "SKIP (no data)"
+        else:
+            verdict = "PASS" if r.ok else "FAIL"
+        lines.append(f"{_pad(slo.name, 22)}{_pad(target, 44)}"
+                     f"{_pad(_fmt_number(r.observed), 12)}{verdict}")
+    status = "all SLOs met" if all(r.ok for r in results) \
+        else "SLO VIOLATIONS PRESENT"
+    lines.append(status)
+    return "\n".join(lines)
+
+
+# -- traces -----------------------------------------------------------------
+
+
+def _children_index(spans: Sequence[Mapping[str, Any]]
+                    ) -> Tuple[List[Mapping[str, Any]],
+                               Dict[int, List[Mapping[str, Any]]]]:
+    """Roots and a parent_id -> children map, both start-ordered."""
+    ids = {s["span_id"] for s in spans}
+    roots = []
+    children: Dict[int, List[Mapping[str, Any]]] = {}
+    for s in spans:
+        parent = s.get("parent_id")
+        if parent is None or parent not in ids:
+            roots.append(s)
+        else:
+            children.setdefault(parent, []).append(s)
+    key = lambda s: (s["start"], s["span_id"])  # noqa: E731
+    roots.sort(key=key)
+    for lst in children.values():
+        lst.sort(key=key)
+    return roots, children
+
+
+def _bar(span: Mapping[str, Any], t0: float, extent: float) -> str:
+    if extent <= 0:
+        return "#" * BAR_WIDTH
+    lead = int((span["start"] - t0) / extent * BAR_WIDTH)
+    lead = min(lead, BAR_WIDTH - 1)
+    fill = max(1, round((span["end"] - span["start"]) / extent * BAR_WIDTH))
+    fill = min(fill, BAR_WIDTH - lead)
+    return "." * lead + "#" * fill + "." * (BAR_WIDTH - lead - fill)
+
+
+def render_trace_tree(spans: Sequence[Mapping[str, Any]],
+                      events: Sequence[Mapping[str, Any]] = ()) -> str:
+    """Indented tree + waterfall bars for the spans of ONE trace."""
+    if not spans:
+        return "(no spans)"
+    t0 = min(s["start"] for s in spans)
+    t1 = max(s["end"] for s in spans)
+    extent = t1 - t0
+    roots, children = _children_index(spans)
+    lines: List[str] = []
+
+    def walk(span: Mapping[str, Any], depth: int) -> None:
+        name = "  " * depth + span["name"]
+        dur = fmt_seconds(span["end"] - span["start"])
+        lines.append(f"{_pad(name, 44)}{dur:>10}  "
+                     f"|{_bar(span, t0, extent)}|")
+        for child in children.get(span["span_id"], []):
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    for ev in sorted(events, key=lambda e: e["time"]):
+        lines.append(f"  ! {ev['severity']}: {ev['component']}."
+                     f"{ev['kind']} at {fmt_seconds(ev['time'] - t0)} "
+                     f"{ev.get('attrs', {})}")
+    return "\n".join(lines)
+
+
+def render_slow_spans(spans: Sequence[Mapping[str, Any]],
+                      top: int = 10) -> str:
+    """The *top* longest spans across all traces."""
+    ranked = sorted(spans, key=lambda s: s["end"] - s["start"],
+                    reverse=True)[:top]
+    lines = [f"top {len(ranked)} slow spans",
+             "-" * 60]
+    for s in ranked:
+        lines.append(f"{_pad(s['name'], 36)}"
+                     f"{fmt_seconds(s['end'] - s['start']):>10}  "
+                     f"trace {s.get('trace_id', '-')}")
+    return "\n".join(lines)
+
+
+def render_traces(spans: Sequence[Mapping[str, Any]],
+                  events: Sequence[Mapping[str, Any]] = (),
+                  *, top: int = 10, max_traces: int = 5) -> str:
+    """Group spans by trace and render the largest trees first."""
+    if not spans:
+        return "(no spans recorded)"
+    by_trace: Dict[Any, List[Mapping[str, Any]]] = {}
+    for s in spans:
+        by_trace.setdefault(s.get("trace_id"), []).append(s)
+    events_by_trace: Dict[Any, List[Mapping[str, Any]]] = {}
+    for e in events:
+        if e.get("trace_id") is not None:
+            events_by_trace.setdefault(e["trace_id"], []).append(e)
+    ordered = sorted(by_trace.items(),
+                     key=lambda kv: len(kv[1]), reverse=True)
+    sections: List[str] = []
+    for trace_id, group in ordered[:max_traces]:
+        t0 = min(s["start"] for s in group)
+        t1 = max(s["end"] for s in group)
+        sections.append(
+            f"trace {trace_id} · {len(group)} spans · "
+            f"{fmt_seconds(t1 - t0)}")
+        sections.append(render_trace_tree(
+            group, events_by_trace.get(trace_id, [])))
+        sections.append("")
+    hidden = len(ordered) - min(len(ordered), max_traces)
+    if hidden:
+        sections.append(f"({hidden} smaller traces not shown)")
+    sections.append(render_slow_spans(spans, top=top))
+    return "\n".join(sections)

@@ -5,6 +5,16 @@ with arbitrary attributes and parent/child nesting — so an end-to-end
 flow (publish courseware → download → present) can be decomposed into
 the per-layer intervals the thesis's measurement chapter tabulates.
 
+Cross-component requests are stitched together with a
+:class:`TraceContext` — a ``(trace_id, span_id)`` pair minted when a
+root span opens and carried in transport message headers across sites.
+The tracer holds at most one *current* context, managed with explicit
+``attach``/``detach`` tokens rather than a stack: each ``attach``
+returns the context it displaced, and ``detach`` restores exactly that
+snapshot.  Interleaved simulator callbacks can therefore open and
+close spans in any order without corrupting each other's parentage —
+a span opened outside any attached context is simply a new root.
+
 The clock is injected (normally ``lambda: sim.now``) so the tracer
 works for both simulator-attached components and the standalone MHEG
 engine.  Tracing defaults to **off** and is zero-cost when disabled:
@@ -16,11 +26,23 @@ from __future__ import annotations
 
 import itertools
 import json
+import math
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Dict, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional, Union
 
-__all__ = ["Span", "SpanRecord", "Tracer", "NULL_SPAN"]
+__all__ = ["Span", "SpanRecord", "TraceContext", "Tracer", "NULL_SPAN"]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Wire-portable identity of one span within one trace."""
+
+    trace_id: int
+    span_id: int
+
+    def to_dict(self) -> Dict[str, int]:
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
 
 
 @dataclass
@@ -29,6 +51,7 @@ class SpanRecord:
 
     span_id: int
     parent_id: Optional[int]
+    trace_id: int
     name: str
     start: float
     end: float
@@ -42,6 +65,7 @@ class SpanRecord:
         return {
             "span_id": self.span_id,
             "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
             "name": self.name,
             "start": self.start,
             "end": self.end,
@@ -54,6 +78,9 @@ class _NullSpan:
     """Shared no-op span for a disabled tracer."""
 
     __slots__ = ()
+
+    #: a disabled span carries no trace identity to propagate
+    context = None
 
     def __enter__(self) -> "_NullSpan":
         return self
@@ -73,21 +100,33 @@ NULL_SPAN = _NullSpan()
 
 class Span:
     """An open span; close it with ``end()`` or use it as a context
-    manager.  Attributes added with ``set()`` land in the record."""
+    manager.  Attributes added with ``set()`` land in the record.
 
-    __slots__ = ("_tracer", "span_id", "parent_id", "name", "start",
-                 "attrs", "_open")
+    Entering the span as a context manager attaches its context to the
+    tracer (so spans opened inside become children); a bare ``span()``
+    call leaves the ambient context untouched.
+    """
+
+    __slots__ = ("_tracer", "span_id", "parent_id", "trace_id", "name",
+                 "start", "attrs", "_open", "_token", "_attached")
 
     def __init__(self, tracer: "Tracer", span_id: int,
-                 parent_id: Optional[int], name: str, start: float,
-                 attrs: Dict[str, Any]) -> None:
+                 parent_id: Optional[int], trace_id: int, name: str,
+                 start: float, attrs: Dict[str, Any]) -> None:
         self._tracer = tracer
         self.span_id = span_id
         self.parent_id = parent_id
+        self.trace_id = trace_id
         self.name = name
         self.start = start
         self.attrs = attrs
         self._open = True
+        self._token: Optional[TraceContext] = None
+        self._attached = False
+
+    @property
+    def context(self) -> TraceContext:
+        return TraceContext(self.trace_id, self.span_id)
 
     def set(self, **attrs: Any) -> "Span":
         self.attrs.update(attrs)
@@ -96,9 +135,16 @@ class Span:
     def end(self) -> None:
         if self._open:
             self._open = False
+            if self._attached:
+                self._attached = False
+                self._tracer.detach(self._token)
+                self._token = None
             self._tracer._finish(self)
 
     def __enter__(self) -> "Span":
+        if self._open and not self._attached:
+            self._token = self._tracer.attach(self.context)
+            self._attached = True
         return self
 
     def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
@@ -106,6 +152,12 @@ class Span:
             self.attrs.setdefault("error", exc_type.__name__)
         self.end()
         return False
+
+
+def _quantile(sorted_values: List[float], q: float) -> float:
+    """Exact nearest-rank quantile of a pre-sorted sample."""
+    idx = max(0, math.ceil(q * len(sorted_values)) - 1)
+    return sorted_values[idx]
 
 
 class Tracer:
@@ -121,28 +173,61 @@ class Tracer:
         self.enabled = enabled
         self.dropped = 0
         self._ids = itertools.count(1)
-        self._stack: List[int] = []          # open-span ids, innermost last
+        self._trace_ids = itertools.count(1)
+        self._current: Optional[TraceContext] = None
         self._finished: Deque[SpanRecord] = deque(maxlen=max_spans)
 
-    def span(self, name: str, **attrs: Any):
-        """Open a span.  Returns the shared no-op span when disabled."""
+    # -- context management ----------------------------------------------
+
+    @property
+    def current(self) -> Optional[TraceContext]:
+        """The attached context new spans will parent to, if any."""
+        return self._current
+
+    def attach(self, ctx: Optional[TraceContext]) -> Optional[TraceContext]:
+        """Make *ctx* the current context; returns a token (the
+        displaced context) to hand back to :meth:`detach`."""
+        token = self._current
+        self._current = ctx
+        return token
+
+    def detach(self, token: Optional[TraceContext]) -> None:
+        """Restore the context snapshot returned by :meth:`attach`."""
+        self._current = token
+
+    # -- spans -----------------------------------------------------------
+
+    def span(self, name: str,
+             parent: Optional[Union[TraceContext, "Span"]] = None,
+             **attrs: Any):
+        """Open a span.  Returns the shared no-op span when disabled.
+
+        The parent is *parent* if given (a :class:`TraceContext` or an
+        open :class:`Span`), else the currently attached context; with
+        neither, the span roots a fresh trace.
+        """
         if not self.enabled:
             return NULL_SPAN
-        parent = self._stack[-1] if self._stack else None
-        sp = Span(self, next(self._ids), parent, name, self.clock(), attrs)
-        self._stack.append(sp.span_id)
-        return sp
+        if parent is None:
+            parent = self._current
+        elif isinstance(parent, Span):
+            parent = parent.context
+        if parent is not None:
+            trace_id = parent.trace_id
+            parent_id: Optional[int] = parent.span_id
+        else:
+            trace_id = next(self._trace_ids)
+            parent_id = None
+        return Span(self, next(self._ids), parent_id, trace_id, name,
+                    self.clock(), attrs)
 
     def _finish(self, sp: Span) -> None:
-        # spans normally close innermost-first; tolerate out-of-order
-        # closes from interleaved event callbacks
-        if sp.span_id in self._stack:
-            self._stack.remove(sp.span_id)
         if len(self._finished) == self._finished.maxlen:
             self.dropped += 1
         self._finished.append(SpanRecord(
-            span_id=sp.span_id, parent_id=sp.parent_id, name=sp.name,
-            start=sp.start, end=self.clock(), attrs=sp.attrs))
+            span_id=sp.span_id, parent_id=sp.parent_id,
+            trace_id=sp.trace_id, name=sp.name, start=sp.start,
+            end=self.clock(), attrs=sp.attrs))
 
     @property
     def spans(self) -> List[SpanRecord]:
@@ -151,25 +236,40 @@ class Tracer:
     def by_name(self, name: str) -> List[SpanRecord]:
         return [s for s in self._finished if s.name == name]
 
+    def by_trace(self, trace_id: int) -> List[SpanRecord]:
+        return [s for s in self._finished if s.trace_id == trace_id]
+
     def clear(self) -> None:
         self._finished.clear()
-        self._stack.clear()
+        self._current = None
         self.dropped = 0
+
+    def aggregate(self) -> Dict[str, Dict[str, float]]:
+        """Per-name duration stats (count/total/min/mean/max/p50/p99)."""
+        durations: Dict[str, List[float]] = {}
+        for s in self._finished:
+            durations.setdefault(s.name, []).append(s.duration)
+        agg: Dict[str, Dict[str, float]] = {}
+        for name, durs in durations.items():
+            durs.sort()
+            total = sum(durs)
+            agg[name] = {
+                "count": len(durs),
+                "total": total,
+                "min": durs[0],
+                "mean": total / len(durs),
+                "max": durs[-1],
+                "p50": _quantile(durs, 0.5),
+                "p99": _quantile(durs, 0.99),
+            }
+        return agg
 
     def report(self) -> Dict[str, Any]:
         """Aggregate + raw dump; stable for JSON export."""
-        agg: Dict[str, Dict[str, float]] = {}
-        for s in self._finished:
-            a = agg.setdefault(s.name, {"count": 0, "total": 0.0,
-                                        "max": 0.0})
-            a["count"] += 1
-            a["total"] += s.duration
-            if s.duration > a["max"]:
-                a["max"] = s.duration
         return {
             "enabled": self.enabled,
             "dropped": self.dropped,
-            "aggregate": agg,
+            "aggregate": self.aggregate(),
             "spans": [s.to_dict() for s in self._finished],
         }
 

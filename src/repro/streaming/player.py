@@ -53,10 +53,14 @@ class VideoPlayer:
         self.sim = sim
         self.preroll = preroll
         self.skip_grace = skip_grace
+        self.name = name
         self.stats = PlayoutStats(frames_expected=frames_expected)
         metrics = sim.metrics
+        self._recorder = sim.recorder
         self._m_lateness = metrics.histogram(
             "player", "frame_lateness_seconds", player=name)
+        self._m_startup = metrics.histogram(
+            "player", "startup_delay_seconds", player=name)
         self._m_buffer = metrics.gauge("player", "buffer_frames", player=name)
         self._m_preroll = metrics.gauge("player", "preroll_fill_frames",
                                         player=name)
@@ -88,6 +92,10 @@ class VideoPlayer:
             # lateness vs the playout deadline; early frames clamp to 0
             lateness = self.sim.now - (self._clock_offset + timestamp)
             self._m_lateness.observe(max(0.0, lateness))
+            if lateness > 0.0:
+                self._recorder.record(
+                    "streaming", "late_frame", severity="warning",
+                    player=self.name, frame=index, lateness=lateness)
         if last:
             self._last_index = index
         if self._first_arrival is None:
@@ -100,6 +108,7 @@ class VideoPlayer:
         self._play_started = self.sim.now
         self.stats.startup_delay = self.sim.now - self._first_arrival \
             + 0.0
+        self._m_startup.observe(self.stats.startup_delay)
         # playout clock: frame with timestamp T plays at offset + T
         self._clock_offset = self.sim.now
         self.stats.preroll_frames = len(self._buffer)
@@ -150,6 +159,8 @@ class VideoPlayer:
         self._stall_started = self.sim.now
         self.stats.stalls += 1
         self._m_stalls.inc()
+        self._recorder.record("streaming", "stall", severity="warning",
+                              player=self.name, frame=self._next_frame)
         self.sim.schedule(self.skip_grace, self._skip_if_still_missing,
                           self._next_frame)
 
@@ -172,6 +183,9 @@ class VideoPlayer:
             self._stall_started = None
             self.stats.frames_skipped += 1
             self._m_skipped.inc()
+            self._recorder.record(
+                "streaming", "frame_skipped", severity="warning",
+                player=self.name, frame=index, stall=stall)
             self._next_frame += 1
             self._advance()
 

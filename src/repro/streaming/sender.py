@@ -15,6 +15,7 @@ from typing import Optional
 from repro.atm.network import VirtualCircuit
 from repro.atm.simulator import Simulator
 from repro.media.video import VideoStream
+from repro.obs.tracing import NULL_SPAN, TraceContext
 
 _FRAME_HEADER = struct.Struct(">IdB")  # index, timestamp, last flag
 
@@ -33,7 +34,8 @@ class VideoStreamSender:
     """Paces one encoded video sequence onto a VC."""
 
     def __init__(self, sim: Simulator, vc: VirtualCircuit, data: bytes, *,
-                 lead: float = 0.0) -> None:
+                 lead: float = 0.0,
+                 ctx: Optional[TraceContext] = None) -> None:
         self.sim = sim
         self.vc = vc
         self.stream = VideoStream(data)
@@ -42,6 +44,10 @@ class VideoStreamSender:
         self.bytes_sent = 0
         self.started_at: Optional[float] = None
         self.finished = False
+        #: trace context of the request that asked for this stream;
+        #: the whole playout becomes one span under it
+        self.ctx = ctx
+        self._span = NULL_SPAN
         label = f"vc{vc.vc_id}"
         self._m_frames = sim.metrics.counter("streaming", "frames_sent",
                                              stream=label)
@@ -59,6 +65,9 @@ class VideoStreamSender:
         """Schedule every frame's transmission at its (lead-shifted)
         timestamp relative to now."""
         self.started_at = self.sim.now
+        self._span = self.sim.tracer.span(
+            "streaming.send", parent=self.ctx,
+            stream=f"vc{self.vc.vc_id}", frames=self.stream.frames)
         for i, (timestamp, frame) in enumerate(self.stream):
             send_at = max(0.0, timestamp - self.lead)
             last = i == self.stream.frames - 1
@@ -74,3 +83,5 @@ class VideoStreamSender:
         self._m_bytes.inc(len(frame))
         if last:
             self.finished = True
+            self._span.set(bytes=self.bytes_sent)
+            self._span.end()

@@ -31,7 +31,7 @@ from repro.util.errors import DecodingError, NetworkError
 
 #: largest message body carried in a single AAL5 frame; bigger bodies
 #: are fragmented (AAL5 caps the CPCS payload at 65535 octets and the
-#: message header takes 20)
+#: message header takes 36)
 MAX_FRAGMENT_BODY = 32768
 
 
@@ -111,6 +111,7 @@ class Connection:
             for off in offsets:
                 frag = Message(
                     type=msg.type, corr_id=msg.corr_id,
+                    trace_id=msg.trace_id, span_id=msg.span_id,
                     body=body[off:off + MAX_FRAGMENT_BODY],
                     flags=msg.flags | (FLAG_MORE_FRAGMENTS if off < last else 0))
                 self._enqueue(frag)
@@ -158,6 +159,11 @@ class Connection:
             error = NetworkError(
                 f"connection {self.name}: message seq={base} exceeded "
                 f"{self.max_retries} retries; peer unreachable")
+            head = self._in_flight.get(base)
+            self.sim.recorder.record(
+                "transport", "connection_failed", severity="error",
+                trace_id=(head.trace_id or None) if head else None,
+                conn=self.name, seq=base, retries=self.max_retries)
             self.close()
             self.last_error = error
             self.stats.failed += 1
@@ -165,11 +171,15 @@ class Connection:
             if self.on_error is not None:
                 self.on_error(error)
             return
+        recorder = self.sim.recorder
         for seq in sorted(self._in_flight):
             msg = self._in_flight[seq]
             msg.ack = self._recv_next
             # Karn's rule: a retransmitted segment yields no RTT sample
             self._sent_at.pop(seq, None)
+            recorder.record("transport", "retransmit", severity="warning",
+                            trace_id=msg.trace_id or None, conn=self.name,
+                            seq=seq, retry=self._retries[base])
             self.endpoint.send(msg.encode())
             self.stats.retransmitted += 1
             self._m_retransmits.inc()
@@ -228,6 +238,7 @@ class Connection:
             self._reassembly.append(msg.body)
             msg = Message(type=msg.type, seq=msg.seq, ack=msg.ack,
                           corr_id=msg.corr_id,
+                          trace_id=msg.trace_id, span_id=msg.span_id,
                           body=b"".join(self._reassembly))
             self._reassembly = []
         if self.on_message is not None:

@@ -11,12 +11,19 @@ flags      1 octet (bit 0: more fragments follow)
 seq        4 octets, ARQ sequence number
 ack        4 octets, cumulative acknowledgement
 corr_id    4 octets, request/response correlation id
+trace_id   8 octets, distributed-trace identity (0 = untraced)
+span_id    8 octets, originating span within the trace
 body_len   4 octets
 body       opaque payload (wire-encoded value or media chunk)
 =========  =====================================================
 
 Messages whose body exceeds one AAL5 frame are fragmented by the
 connection layer; bit 0 of *flags* marks non-final fragments.
+
+The trace fields propagate a :class:`~repro.obs.tracing.TraceContext`
+across sites: an RPC request stamps the caller's span, the server
+re-attaches it, and every response/stream/retransmission stays
+correlated to the originating request.
 """
 
 from __future__ import annotations
@@ -28,7 +35,7 @@ from dataclasses import dataclass, field
 from repro.util.errors import DecodingError
 
 _MAGIC = b"MB"
-_HEADER = struct.Struct(">2sBBIIII")
+_HEADER = struct.Struct(">2sBBIIIQQI")
 
 FLAG_MORE_FRAGMENTS = 0x01
 
@@ -53,6 +60,8 @@ class Message:
     corr_id: int = 0
     body: bytes = b""
     flags: int = 0
+    trace_id: int = 0
+    span_id: int = 0
 
     @property
     def more_fragments(self) -> bool:
@@ -60,14 +69,16 @@ class Message:
 
     def encode(self) -> bytes:
         return _HEADER.pack(_MAGIC, int(self.type), self.flags, self.seq,
-                            self.ack, self.corr_id, len(self.body)) + self.body
+                            self.ack, self.corr_id, self.trace_id,
+                            self.span_id, len(self.body)) + self.body
 
     @classmethod
     def decode(cls, data: bytes) -> "Message":
         if len(data) < _HEADER.size:
             raise DecodingError(
                 f"message too short: {len(data)} < {_HEADER.size}")
-        magic, mtype, flags, seq, ack, corr, blen = _HEADER.unpack_from(data)
+        (magic, mtype, flags, seq, ack, corr, trace_id, span_id,
+         blen) = _HEADER.unpack_from(data)
         if magic != _MAGIC:
             raise DecodingError(f"bad message magic {magic!r}")
         try:
@@ -80,4 +91,4 @@ class Message:
                 f"message body length mismatch: header says {blen}, "
                 f"frame has {len(body)}")
         return cls(type=mtype, seq=seq, ack=ack, corr_id=corr, body=body,
-                   flags=flags)
+                   flags=flags, trace_id=trace_id, span_id=span_id)

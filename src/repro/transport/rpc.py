@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.atm.simulator import Event, Simulator
+from repro.obs.tracing import NULL_SPAN, TraceContext
 from repro.transport.connection import Connection
 from repro.transport.messages import Message, MessageType
 from repro.transport.wire import dump_value, load_value
@@ -48,6 +49,11 @@ class PendingCall:
     result: Any = None
     error: Optional[RpcError] = None
     _timeout_event: Optional[Event] = None
+    #: client-side span covering the request/response round trip
+    _span: Any = NULL_SPAN
+    #: context the caller had attached when issuing the call; completion
+    #: callbacks run under it so follow-up spans parent correctly
+    _ctx: Optional[TraceContext] = None
 
     def _complete(self, result: Any) -> None:
         if self.done:
@@ -81,6 +87,8 @@ class StreamReceiver:
         self.on_end = on_end
         self.first_chunk_at: Optional[float] = None
         self.finished_at: Optional[float] = None
+        self._span: Any = NULL_SPAN
+        self._ctx: Optional[TraceContext] = None
 
     @property
     def data(self) -> bytes:
@@ -119,12 +127,16 @@ class RpcClient:
              timeout: Optional[float] = None) -> PendingCall:
         """Issue a request.  Completion is signalled via callbacks."""
         corr = next(self._corr)
+        tracer = self.sim.tracer
         pending = PendingCall(method=method, corr_id=corr,
-                              on_result=on_result, on_error=on_error)
+                              on_result=on_result, on_error=on_error,
+                              _ctx=tracer.current)
+        pending._span = tracer.span(f"rpc.client:{method}", method=method)
         self._pending[corr] = pending
         body = dump_value({"method": method, "params": params})
-        self.connection.send(Message(type=MessageType.REQUEST,
-                                     corr_id=corr, body=body))
+        msg = Message(type=MessageType.REQUEST, corr_id=corr, body=body)
+        self._stamp(msg, pending._span)
+        self.connection.send(msg)
         t = timeout if timeout is not None else self.default_timeout
         pending._timeout_event = self.sim.schedule(
             t, self._on_timeout, corr)
@@ -136,36 +148,77 @@ class RpcClient:
                     timeout: Optional[float] = None) -> StreamReceiver:
         """Issue a request whose response is a chunk stream."""
         corr = next(self._corr)
+        tracer = self.sim.tracer
         receiver = StreamReceiver(on_chunk=on_chunk, on_end=on_end)
+        receiver._ctx = tracer.current
+        receiver._span = tracer.span(f"rpc.client:{method}", method=method,
+                                     stream=True)
         self._streams[corr] = receiver
         body = dump_value({"method": method, "params": params})
-        self.connection.send(Message(type=MessageType.REQUEST,
-                                     corr_id=corr, body=body))
+        msg = Message(type=MessageType.REQUEST, corr_id=corr, body=body)
+        self._stamp(msg, receiver._span)
+        self.connection.send(msg)
         return receiver
+
+    @staticmethod
+    def _stamp(msg: Message, span: Any) -> None:
+        ctx = span.context
+        if ctx is not None:
+            msg.trace_id = ctx.trace_id
+            msg.span_id = ctx.span_id
 
     def _on_timeout(self, corr: int) -> None:
         pending = self._pending.pop(corr, None)
         if pending is not None and not pending.done:
-            pending._fail(RpcError(pending.method, "timed out"))
+            pending._span.set(error="timeout")
+            pending._span.end()
+            tracer = self.sim.tracer
+            token = tracer.attach(pending._ctx)
+            try:
+                pending._fail(RpcError(pending.method, "timed out"))
+            finally:
+                tracer.detach(token)
 
     def _on_message(self, msg: Message) -> None:
+        tracer = self.sim.tracer
         if msg.type is MessageType.RESPONSE:
             pending = self._pending.pop(msg.corr_id, None)
             if pending is not None:
-                pending._complete(load_value(msg.body))
+                pending._span.end()
+                token = tracer.attach(pending._ctx)
+                try:
+                    pending._complete(load_value(msg.body))
+                finally:
+                    tracer.detach(token)
         elif msg.type is MessageType.ERROR:
             pending = self._pending.pop(msg.corr_id, None)
             if pending is not None:
                 reason = load_value(msg.body)
-                pending._fail(RpcError(pending.method, str(reason)))
+                pending._span.set(error=str(reason))
+                pending._span.end()
+                token = tracer.attach(pending._ctx)
+                try:
+                    pending._fail(RpcError(pending.method, str(reason)))
+                finally:
+                    tracer.detach(token)
         elif msg.type is MessageType.STREAM_DATA:
             stream = self._streams.get(msg.corr_id)
             if stream is not None:
-                stream._feed(msg.body, self.sim.now)
+                token = tracer.attach(stream._ctx)
+                try:
+                    stream._feed(msg.body, self.sim.now)
+                finally:
+                    tracer.detach(token)
         elif msg.type is MessageType.STREAM_END:
             stream = self._streams.pop(msg.corr_id, None)
             if stream is not None:
-                stream._end(self.sim.now)
+                stream._span.set(chunks=len(stream.chunks))
+                stream._span.end()
+                token = tracer.attach(stream._ctx)
+                try:
+                    stream._end(self.sim.now)
+                finally:
+                    tracer.detach(token)
 
 
 #: handler signature: handler(params) -> result value, or raise RpcError
@@ -254,58 +307,79 @@ class RpcServer:
     def _on_message(self, msg: Message) -> None:
         if msg.type is not MessageType.REQUEST:
             return
+        # re-attach the caller's trace context on this site: the span
+        # tree continues across the wire under one trace_id
+        ctx = TraceContext(msg.trace_id, msg.span_id) if msg.trace_id \
+            else None
         try:
             envelope = load_value(msg.body)
             method = envelope["method"]
             params = envelope.get("params")
         except Exception:
-            self.connection.send(Message(
+            self._send(Message(
                 type=MessageType.ERROR, corr_id=msg.corr_id,
-                body=dump_value("malformed request")))
+                body=dump_value("malformed request")), ctx)
             return
         if self.processor is not None:
             self.processor.submit(
-                lambda: self._dispatch(method, params, msg.corr_id))
+                lambda: self._dispatch(method, params, msg.corr_id, ctx))
         else:
             self.sim.schedule(self.service_time, self._dispatch,
-                              method, params, msg.corr_id)
+                              method, params, msg.corr_id, ctx)
 
-    def _dispatch(self, method: str, params: Any, corr_id: int) -> None:
+    def _send(self, msg: Message, ctx: Optional[TraceContext]) -> None:
+        if ctx is not None:
+            msg.trace_id = ctx.trace_id
+            msg.span_id = ctx.span_id
+        self.connection.send(msg)
+
+    def _dispatch(self, method: str, params: Any, corr_id: int,
+                  ctx: Optional[TraceContext] = None) -> None:
+        tracer = self.sim.tracer
+        token = tracer.attach(ctx)
+        try:
+            with tracer.span(f"rpc.server:{method}", method=method) as span:
+                self._serve(method, params, corr_id,
+                            span.context if span.context is not None else ctx)
+        finally:
+            tracer.detach(token)
+
+    def _serve(self, method: str, params: Any, corr_id: int,
+               ctx: Optional[TraceContext]) -> None:
         self.requests_served += 1
         if method in self._stream_handlers:
             try:
                 chunks = self._stream_handlers[method](params)
             except Exception as exc:
-                self.connection.send(Message(
+                self._send(Message(
                     type=MessageType.ERROR, corr_id=corr_id,
-                    body=dump_value(str(exc))))
+                    body=dump_value(str(exc))), ctx)
                 return
             for chunk in chunks:
                 for i in range(0, len(chunk), self.chunk_size):
-                    self.connection.send(Message(
+                    self._send(Message(
                         type=MessageType.STREAM_DATA, corr_id=corr_id,
-                        body=bytes(chunk[i:i + self.chunk_size])))
-            self.connection.send(Message(type=MessageType.STREAM_END,
-                                         corr_id=corr_id))
+                        body=bytes(chunk[i:i + self.chunk_size])), ctx)
+            self._send(Message(type=MessageType.STREAM_END,
+                               corr_id=corr_id), ctx)
             return
         handler = self._handlers.get(method)
         if handler is None:
-            self.connection.send(Message(
+            self._send(Message(
                 type=MessageType.ERROR, corr_id=corr_id,
-                body=dump_value(f"unknown method {method!r}")))
+                body=dump_value(f"unknown method {method!r}")), ctx)
             return
         try:
             result = handler(params)
         except RpcError as exc:
-            self.connection.send(Message(
+            self._send(Message(
                 type=MessageType.ERROR, corr_id=corr_id,
-                body=dump_value(exc.reason)))
+                body=dump_value(exc.reason)), ctx)
             return
         except Exception as exc:
-            self.connection.send(Message(
+            self._send(Message(
                 type=MessageType.ERROR, corr_id=corr_id,
-                body=dump_value(f"internal error: {exc}")))
+                body=dump_value(f"internal error: {exc}")), ctx)
             return
-        self.connection.send(Message(type=MessageType.RESPONSE,
-                                     corr_id=corr_id,
-                                     body=dump_value(result)))
+        self._send(Message(type=MessageType.RESPONSE, corr_id=corr_id,
+                           body=dump_value(result)), ctx)

@@ -1,0 +1,106 @@
+"""Tests for the flight recorder."""
+
+import json
+
+import pytest
+
+from repro.atm.simulator import Simulator
+from repro.obs import FlightRecorder
+
+
+class TestRecording:
+    def test_events_stamp_the_injected_clock(self):
+        t = [0.0]
+        rec = FlightRecorder(clock=lambda: t[0])
+        rec.record("atm", "cell_drop", link="a->b")
+        t[0] = 2.5
+        rec.record("transport", "retransmit", severity="warning", seq=4)
+        first, second = rec.events
+        assert first.time == 0.0
+        assert first.component == "atm"
+        assert first.kind == "cell_drop"
+        assert first.attrs == {"link": "a->b"}
+        assert second.time == 2.5
+        assert second.severity == "warning"
+
+    def test_unknown_severity_rejected(self):
+        rec = FlightRecorder(clock=lambda: 0.0)
+        with pytest.raises(ValueError):
+            rec.record("x", "y", severity="catastrophic")
+
+    def test_disabled_recorder_is_silent(self):
+        rec = FlightRecorder(clock=lambda: 0.0, enabled=False)
+        rec.record("x", "y")
+        assert rec.events == []
+        assert rec.recorded == 0
+
+
+class TestRing:
+    def test_capacity_bounds_memory_and_counts_evictions(self):
+        rec = FlightRecorder(clock=lambda: 0.0, capacity=5)
+        for i in range(12):
+            rec.record("x", "tick", i=i)
+        assert len(rec.events) == 5
+        assert rec.recorded == 12
+        assert rec.dropped == 7
+        # newest events survive
+        assert [e.attrs["i"] for e in rec.events] == [7, 8, 9, 10, 11]
+
+    def test_clear_resets_counters(self):
+        rec = FlightRecorder(clock=lambda: 0.0, capacity=2)
+        for _ in range(3):
+            rec.record("x", "y")
+        rec.clear()
+        assert rec.events == []
+        assert rec.recorded == 0
+        assert rec.dropped == 0
+
+
+class TestQueries:
+    def test_for_trace_filters_by_correlation_id(self):
+        rec = FlightRecorder(clock=lambda: 0.0)
+        rec.record("transport", "retransmit", trace_id=7)
+        rec.record("atm", "cell_drop")
+        rec.record("streaming", "late_frame", trace_id=7)
+        rec.record("transport", "retransmit", trace_id=9)
+        kinds = [e.kind for e in rec.for_trace(7)]
+        assert kinds == ["retransmit", "late_frame"]
+
+    def test_by_kind_and_counts(self):
+        rec = FlightRecorder(clock=lambda: 0.0)
+        for _ in range(3):
+            rec.record("atm", "cell_drop")
+        rec.record("atm", "vc_close")
+        assert len(rec.by_kind("cell_drop")) == 3
+        assert rec.counts() == {"cell_drop": 3, "vc_close": 1}
+
+
+class TestExport:
+    def test_snapshot_is_json_stable(self):
+        rec = FlightRecorder(clock=lambda: 1.5)
+        rec.record("mheg", "link_fired", trace_id=3, link="L1")
+        snap = rec.snapshot()
+        assert snap["recorded"] == 1
+        assert snap["counts"] == {"link_fired": 1}
+        [ev] = snap["events"]
+        assert ev == {"time": 1.5, "component": "mheg",
+                      "kind": "link_fired", "severity": "info",
+                      "trace_id": 3, "attrs": {"link": "L1"}}
+        json.dumps(snap)  # must not raise
+
+    def test_to_jsonl_one_event_per_line(self):
+        rec = FlightRecorder(clock=lambda: 0.0)
+        rec.record("a", "x")
+        rec.record("b", "y")
+        lines = rec.to_jsonl().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[1])["component"] == "b"
+
+
+class TestSimulatorIntegration:
+    def test_simulator_owns_a_recorder_on_sim_time(self):
+        sim = Simulator()
+        sim.schedule(2.0, lambda: sim.recorder.record("test", "tick"))
+        sim.run()
+        [ev] = sim.recorder.events
+        assert ev.time == 2.0

@@ -1,0 +1,149 @@
+"""Tests for the ``python -m repro.obs`` reporting CLI."""
+
+import json
+
+from repro.obs.__main__ import main
+from repro.obs.report import (
+    find_trace_sidecar, load_metrics_file, load_trace_file,
+    render_trace_tree,
+)
+
+
+def write_metrics(path, p99=0.05, wrapped=True):
+    report = {
+        "connection": {"rtt_seconds": [
+            {"type": "histogram", "count": 12, "sum": 0.3,
+             "mean": 0.025, "min": 0.01, "max": p99, "p50": 0.02,
+             "p99": p99}]},
+        "link": {
+            "drops_total": [{"type": "counter", "value": 0}],
+            "cells_transmitted": [{"type": "counter", "value": 5000}]},
+    }
+    payload = {"name": "demo", "sim_time": 4.0, "events_run": 99,
+               "metrics": report} if wrapped else report
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def write_trace(path):
+    spans = [
+        {"span_id": 1, "parent_id": None, "trace_id": 1,
+         "name": "navigator.enter_classroom", "start": 0.0, "end": 1.0,
+         "duration": 1.0, "attrs": {}},
+        {"span_id": 2, "parent_id": 1, "trace_id": 1,
+         "name": "rpc.client:get_doc", "start": 0.1, "end": 0.6,
+         "duration": 0.5, "attrs": {}},
+        {"span_id": 3, "parent_id": 2, "trace_id": 1,
+         "name": "rpc.server:get_doc", "start": 0.3, "end": 0.3,
+         "duration": 0.0, "attrs": {}},
+    ]
+    events = [
+        {"time": 0.2, "component": "transport", "kind": "retransmit",
+         "severity": "warning", "trace_id": 1, "attrs": {"seq": 4}},
+    ]
+    with open(path, "w") as fh:
+        for s in spans:
+            fh.write(json.dumps({"record": "span", **s}) + "\n")
+        for e in events:
+            fh.write(json.dumps({"record": "event", **e}) + "\n")
+    return path
+
+
+class TestLoading:
+    def test_load_metrics_unwraps_benchmark_dump(self, tmp_path):
+        path = write_metrics(tmp_path / "metrics_demo.json")
+        meta, report = load_metrics_file(str(path))
+        assert meta["name"] == "demo"
+        assert "connection" in report
+
+    def test_load_metrics_accepts_bare_report(self, tmp_path):
+        path = write_metrics(tmp_path / "bare.json", wrapped=False)
+        meta, report = load_metrics_file(str(path))
+        assert meta == {}
+        assert "connection" in report
+
+    def test_trace_lines_classified_by_kind(self, tmp_path):
+        path = write_trace(tmp_path / "trace_demo.jsonl")
+        spans, events = load_trace_file(str(path))
+        assert len(spans) == 3
+        assert len(events) == 1
+
+    def test_sidecar_discovery(self, tmp_path):
+        metrics = write_metrics(tmp_path / "metrics_demo.json")
+        assert find_trace_sidecar(str(metrics)) is None
+        trace = write_trace(tmp_path / "trace_demo.jsonl")
+        assert find_trace_sidecar(str(metrics)) == str(trace)
+
+
+class TestReportCommand:
+    def test_report_prints_summary_slos_and_waterfall(self, tmp_path,
+                                                      capsys):
+        metrics = write_metrics(tmp_path / "metrics_demo.json")
+        write_trace(tmp_path / "trace_demo.jsonl")
+        assert main(["report", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "== scenario: demo ==" in out
+        assert "connection.rtt_seconds" in out
+        assert "rpc-rtt-p99" in out
+        assert "PASS" in out
+        assert "all SLOs met" in out
+        # waterfall: tree indentation plus bar characters
+        assert "navigator.enter_classroom" in out
+        assert "  rpc.client:get_doc" in out
+        assert "|" in out and "#" in out
+        assert "! warning: transport.retransmit" in out
+        assert "top 3 slow spans" in out
+
+    def test_strict_mode_fails_on_violation(self, tmp_path, capsys):
+        good = write_metrics(tmp_path / "metrics_ok.json")
+        bad = write_metrics(tmp_path / "metrics_bad.json", p99=2.0)
+        assert main(["report", str(good), "--strict"]) == 0
+        assert main(["report", str(bad), "--strict"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_explicit_trace_flag(self, tmp_path, capsys):
+        metrics = write_metrics(tmp_path / "m.json")
+        trace = write_trace(tmp_path / "t.jsonl")
+        assert main(["report", str(metrics),
+                     "--trace", str(trace)]) == 0
+        assert "rpc.server:get_doc" in capsys.readouterr().out
+
+
+class TestSloCommand:
+    def test_exit_code_reflects_verdict(self, tmp_path, capsys):
+        good = write_metrics(tmp_path / "metrics_ok.json")
+        bad = write_metrics(tmp_path / "metrics_bad.json", p99=9.0)
+        assert main(["slo", str(good)]) == 0
+        assert main(["slo", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "SLO VIOLATIONS PRESENT" in out
+
+    def test_skipped_objectives_render_distinctly(self, tmp_path, capsys):
+        metrics = write_metrics(tmp_path / "metrics_ok.json")
+        assert main(["slo", str(metrics)]) == 0
+        assert "SKIP (no data)" in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def test_waterfall_only(self, tmp_path, capsys):
+        trace = write_trace(tmp_path / "trace_demo.jsonl")
+        assert main(["trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "trace 1 · 3 spans" in out
+        assert "slow spans" in out
+
+
+class TestRenderers:
+    def test_zero_duration_span_still_gets_a_bar(self):
+        spans = [{"span_id": 1, "parent_id": None, "trace_id": 1,
+                  "name": "instant", "start": 1.0, "end": 1.0,
+                  "attrs": {}}]
+        out = render_trace_tree(spans)
+        assert "#" in out
+
+    def test_dangling_parent_becomes_a_root(self):
+        spans = [{"span_id": 5, "parent_id": 99, "trace_id": 1,
+                  "name": "orphan", "start": 0.0, "end": 1.0,
+                  "attrs": {}}]
+        out = render_trace_tree(spans)
+        assert out.startswith("orphan")

@@ -1,7 +1,7 @@
 """Tests for the span tracer."""
 
 from repro.atm.simulator import Simulator
-from repro.obs import Tracer
+from repro.obs import TraceContext, Tracer
 from repro.obs.tracing import NULL_SPAN
 
 
@@ -76,6 +76,127 @@ class TestSpans:
         assert rep["aggregate"]["load"]["count"] == 2
         assert rep["aggregate"]["load"]["total"] == 4.0
         assert rep["aggregate"]["load"]["max"] == 3.0
+
+
+class TestTraceContext:
+    def test_disabled_span_carries_no_context(self):
+        tr = Tracer(clock=lambda: 0.0)
+        assert tr.span("x").context is None
+
+    def test_roots_mint_distinct_trace_ids(self):
+        tr = Tracer(clock=lambda: 0.0, enabled=True)
+        a, b = tr.span("a"), tr.span("b")
+        assert a.trace_id != b.trace_id
+        assert a.parent_id is None and b.parent_id is None
+
+    def test_children_inherit_the_trace_id(self):
+        tr = Tracer(clock=lambda: 0.0, enabled=True)
+        with tr.span("root") as root:
+            child = tr.span("child")
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+
+    def test_explicit_parent_beats_ambient_context(self):
+        tr = Tracer(clock=lambda: 0.0, enabled=True)
+        other = tr.span("other")
+        with tr.span("ambient"):
+            by_span = tr.span("a", parent=other)
+            by_ctx = tr.span("b", parent=other.context)
+        assert by_span.parent_id == other.span_id
+        assert by_span.trace_id == other.trace_id
+        assert by_ctx.parent_id == other.span_id
+
+    def test_attach_token_restores_displaced_context(self):
+        tr = Tracer(clock=lambda: 0.0, enabled=True)
+        first = TraceContext(trace_id=7, span_id=1)
+        second = TraceContext(trace_id=7, span_id=2)
+        assert tr.current is None
+        token1 = tr.attach(first)
+        token2 = tr.attach(second)
+        assert tr.current is second
+        tr.detach(token2)
+        assert tr.current is first
+        tr.detach(token1)
+        assert tr.current is None
+
+    def test_bare_span_leaves_ambient_context_untouched(self):
+        tr = Tracer(clock=lambda: 0.0, enabled=True)
+        with tr.span("root") as root:
+            sp = tr.span("bare")
+            assert tr.current == root.context
+            sp.end()
+            assert tr.current == root.context
+
+
+class TestInterleavedCallbacks:
+    def test_interleaved_closes_keep_correct_parents(self):
+        """Regression: spans opened by interleaved simulator callbacks
+        must all parent to the ambient root, regardless of the order in
+        which they end.  The old stack-based tracer re-parented later
+        spans onto whichever unfinished span happened to sit on top."""
+        tr = Tracer(clock=lambda: 0.0, enabled=True)
+        with tr.span("root") as root:
+            a = tr.span("cb-a")       # callback A starts work
+            b = tr.span("cb-b")       # callback B starts before A ends
+            a.end()                   # A finishes first
+            c = tr.span("cb-c")       # C opens after the out-of-order end
+            b.end()
+            c.end()
+        recs = {r.name: r for r in tr.spans}
+        for name in ("cb-a", "cb-b", "cb-c"):
+            assert recs[name].parent_id == root.span_id, name
+            assert recs[name].trace_id == root.trace_id, name
+
+    def test_resumed_context_parents_across_a_gap(self):
+        """A callback scheduled for later re-attaches the issuing
+        context, so work done there joins the original trace."""
+        sim = Simulator()
+        tr = sim.tracer
+        tr.enabled = True
+        with tr.span("request") as req:
+            saved = req.context
+
+        def later():
+            token = tr.attach(saved)
+            try:
+                tr.span("continuation").end()
+            finally:
+                tr.detach(token)
+
+        sim.schedule(1.0, later)
+        # an unrelated root span opened in between must not capture it
+        with tr.span("unrelated"):
+            pass
+        sim.run()
+        [cont] = tr.by_name("continuation")
+        assert cont.trace_id == req.trace_id
+        assert cont.parent_id == req.span_id
+
+
+class TestAggregates:
+    def test_aggregate_has_quantiles_and_mean(self):
+        t = [0.0]
+        tr = Tracer(clock=lambda: t[0], enabled=True)
+        for dur in (1.0, 2.0, 3.0, 4.0):
+            sp = tr.span("load")
+            t[0] += dur
+            sp.end()
+        agg = tr.aggregate()["load"]
+        assert agg["count"] == 4
+        assert agg["min"] == 1.0
+        assert agg["max"] == 4.0
+        assert agg["mean"] == 2.5
+        assert agg["p50"] == 2.0
+        assert agg["p99"] == 4.0
+
+    def test_single_sample_quantiles(self):
+        t = [0.0]
+        tr = Tracer(clock=lambda: t[0], enabled=True)
+        sp = tr.span("one")
+        t[0] = 0.5
+        sp.end()
+        agg = tr.aggregate()["one"]
+        assert agg["p50"] == agg["p99"] == agg["min"] == agg["max"] == 0.5
 
 
 class TestSimulatorIntegration:
