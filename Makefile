@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: check test compile smoke bench
+.PHONY: check test compile smoke bench bench-gate
 
 check: test compile smoke
 
@@ -20,3 +20,9 @@ smoke:
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q
+
+# perf-regression gate: scenarios vs tracked BENCH_*.json baselines.
+# Refresh baselines with `make bench-gate BENCH_GATE_FLAGS=--update`;
+# CI passes --no-wall to skip hardware-dependent wall-clock metrics.
+bench-gate:
+	$(PYTHON) scripts/bench_gate.py $(BENCH_GATE_FLAGS)

@@ -9,7 +9,6 @@ module-scoped where construction is expensive and read-only.
 
 from __future__ import annotations
 
-import json
 import os
 
 import pytest
@@ -20,6 +19,7 @@ from repro.authoring import (
 )
 from repro.core import MitsSystem
 from repro.media.production import MediaProductionCenter
+from repro.obs.export import dump_observability
 
 
 def build_catalog(seed: int = 1996):
@@ -101,39 +101,20 @@ def compiled_imd(catalog):
 
 
 def emit_metrics(mits: MitsSystem, name: str) -> str:
-    """Dump the deployment's metrics registry to JSON.
+    """Dump the deployment's observability sidecars.
 
     Written next to the pytest-benchmark output (override the
     directory with ``BENCH_METRICS_DIR``) so each ``BENCH_*.json``
     trajectory has a matching ``metrics_<name>.json`` and per-layer
     numbers stay comparable across PRs.  A ``trace_<name>.jsonl``
-    sidecar carries the span tree and flight-recorder events for
-    ``python -m repro.obs report`` to render.
+    sidecar carries the span tree and flight-recorder events, and a
+    ``timeseries_<name>.json`` sidecar the sampler rings, for
+    ``python -m repro.obs report`` / ``dashboard`` to render.
     """
     out_dir = os.environ.get(
         "BENCH_METRICS_DIR",
         os.path.join(os.path.dirname(os.path.abspath(__file__)), "out"))
-    os.makedirs(out_dir, exist_ok=True)
-    metrics_report = mits.sim.metrics.report()
-    path = os.path.join(out_dir, f"metrics_{name}.json")
-    dump = {
-        "name": name,
-        "sim_time": mits.sim.now,
-        "events_run": mits.sim.events_run,
-        "metrics": metrics_report,
-        "slo": mits.slos.summary(metrics_report),
-    }
-    with open(path, "w") as fh:
-        json.dump(dump, fh, indent=2, sort_keys=True)
-    trace_path = os.path.join(out_dir, f"trace_{name}.jsonl")
-    with open(trace_path, "w") as fh:
-        for span in mits.sim.tracer.spans:
-            fh.write(json.dumps({"record": "span", **span.to_dict()},
-                                sort_keys=True) + "\n")
-        for event in mits.sim.recorder.events:
-            fh.write(json.dumps({"record": "event", **event.to_dict()},
-                                sort_keys=True) + "\n")
-    return path
+    return dump_observability(mits, name, out_dir)[0]
 
 
 def deploy_mits(topology: str = "star", **kwargs) -> MitsSystem:

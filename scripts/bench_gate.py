@@ -1,0 +1,218 @@
+#!/usr/bin/env python
+"""Perf-regression gate: benchmark scenarios against tracked baselines.
+
+Runs every named scenario in :mod:`repro.core.scenarios` with the
+event-loop profiler installed, extracts a small metric vector per
+scenario — events/sec, wall time, events run, simulated time reached,
+and peak time-series values (simulator queue depth, link queue
+occupancy, player buffer) — and compares it against the tracked
+``BENCH_<scenario>.json`` baseline at the repo root.
+
+Verdict rules, per metric:
+
+* *perf* metrics (``wall_seconds`` up, ``events_per_sec`` down) fail
+  when they regress beyond ``--wall-tolerance`` (generous by default —
+  wall clock is noisy).  ``--no-wall`` skips them entirely for CI
+  runners whose hardware differs from the baseline machine.
+* *deterministic* metrics (``events_run``, ``sim_time``, peaks) are
+  reproducible given the seed, so any drift beyond ``--tolerance``
+  fails — if the drift is an intended consequence of a change, rerun
+  with ``--update`` to accept the new baseline.
+
+``--update`` (re)writes the baselines and exits 0.  A missing baseline
+is an error (exit 2) so new scenarios can't silently skip the gate.
+On failure the diff table shows baseline vs current per metric.
+
+Each run also refreshes the ``metrics_/trace_/timeseries_`` sidecars
+under ``benchmarks/out/`` (override with ``BENCH_METRICS_DIR``), so a
+failed gate is debuggable offline with ``python -m repro.obs``.
+
+Testing hook: ``BENCH_GATE_HANDICAP=<factor>`` scales measured wall
+time (2.0 = pretend the run took twice as long), which is how the test
+suite injects a regression to prove the gate trips.
+
+Run via ``make bench-gate``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_ROOT, "src"))
+
+from repro.core.scenarios import SCENARIOS, build  # noqa: E402
+from repro.obs.export import dump_observability  # noqa: E402
+
+#: (metric, direction, class) — direction says which way is a
+#: regression: "up" = larger is worse, "down" = smaller is worse,
+#: "drift" = any change beyond tolerance is suspect.
+METRIC_SPECS: Tuple[Tuple[str, str, str], ...] = (
+    ("events_per_sec", "down", "wall"),
+    ("wall_seconds", "up", "wall"),
+    ("events_run", "drift", "deterministic"),
+    ("sim_time", "drift", "deterministic"),
+    ("peak_queue_depth", "up", "deterministic"),
+    ("peak_link_queue", "up", "deterministic"),
+    ("peak_player_buffer", "drift", "deterministic"),
+)
+
+
+def baseline_path(scenario: str, out_dir: str) -> str:
+    return os.path.join(out_dir, f"BENCH_{scenario}.json")
+
+
+def measure(scenario: str) -> Dict[str, Any]:
+    """Run one scenario to its horizon and extract the metric vector."""
+    handicap = float(os.environ.get("BENCH_GATE_HANDICAP", "1.0"))
+    t0 = time.perf_counter()
+    run = build(scenario, profile=True)
+    run.run_to_horizon()
+    wall = (time.perf_counter() - t0) * handicap
+    mits = run.mits
+    sampler = mits.sampler
+    profile = mits.profiler.snapshot(top=5)
+
+    def peak(component: str, name: str) -> float:
+        value = sampler.peak(component, name)
+        return float(value) if value is not None else 0.0
+
+    metrics = {
+        "events_run": mits.sim.events_run,
+        "sim_time": round(mits.sim.now, 6),
+        "wall_seconds": round(wall, 4),
+        "events_per_sec": round(mits.sim.events_run / wall, 1)
+        if wall > 0 else 0.0,
+        "peak_queue_depth": peak("simulator", "queue_depth"),
+        "peak_link_queue": peak("link", "queue_occupancy"),
+        "peak_player_buffer": peak("player", "buffer_frames"),
+    }
+    out_dir = os.environ.get(
+        "BENCH_METRICS_DIR", os.path.join(_ROOT, "benchmarks", "out"))
+    dump_observability(mits, f"gate_{scenario}", out_dir, profile=profile)
+    return {
+        "scenario": scenario,
+        "metrics": metrics,
+        "profile_top": [
+            {"callsite": h["callsite"], "cum_seconds": h["cum_seconds"],
+             "calls": h["calls"]}
+            for h in profile["hotspots"]],
+    }
+
+
+def judge(scenario: str, base: Dict[str, Any], cur: Dict[str, Any],
+          *, tolerance: float, wall_tolerance: float,
+          no_wall: bool) -> List[Tuple[str, Any, Any, float, str]]:
+    """Rows of ``(metric, baseline, current, delta_frac, verdict)``."""
+    rows = []
+    base_m, cur_m = base.get("metrics", {}), cur["metrics"]
+    for metric, direction, klass in METRIC_SPECS:
+        if no_wall and klass == "wall":
+            continue
+        tol = wall_tolerance if klass == "wall" else tolerance
+        b, c = base_m.get(metric), cur_m.get(metric)
+        if b is None:
+            rows.append((metric, b, c, 0.0, "NEW"))
+            continue
+        if b == 0:
+            delta = 0.0 if c == 0 else float("inf")
+        else:
+            delta = (c - b) / abs(b)
+        if direction == "up":
+            bad = delta > tol
+        elif direction == "down":
+            bad = delta < -tol
+        else:  # drift
+            bad = abs(delta) > tol
+        rows.append((metric, b, c, delta, "FAIL" if bad else "ok"))
+    return rows
+
+
+def render_diff(scenario: str,
+                rows: List[Tuple[str, Any, Any, float, str]]) -> str:
+    lines = [f"scenario {scenario}",
+             f"  {'metric':<22}{'baseline':>14}{'current':>14}"
+             f"{'delta':>9}  verdict",
+             "  " + "-" * 68]
+    for metric, b, c, delta, verdict in rows:
+        fmt = lambda v: "-" if v is None else (  # noqa: E731
+            f"{v:.4g}" if isinstance(v, float) else str(v))
+        delta_s = "-" if b is None or delta == float("inf") \
+            else f"{delta * 100:+.1f}%"
+        lines.append(f"  {metric:<22}{fmt(b):>14}{fmt(c):>14}"
+                     f"{delta_s:>9}  {verdict}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark scenarios and gate on tracked baselines.")
+    parser.add_argument("scenarios", nargs="*",
+                        help=f"subset to run (default: all of "
+                             f"{sorted(SCENARIOS)})")
+    parser.add_argument("--update", action="store_true",
+                        help="write/refresh BENCH_*.json baselines")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="relative tolerance for deterministic "
+                             "metrics (default 0.10)")
+    parser.add_argument("--wall-tolerance", type=float, default=0.50,
+                        help="relative tolerance for wall-clock "
+                             "metrics (default 0.50)")
+    parser.add_argument("--no-wall", action="store_true",
+                        help="skip wall-clock metrics (CI on unknown "
+                             "hardware)")
+    parser.add_argument("--out-dir", default=_ROOT,
+                        help="directory holding BENCH_*.json "
+                             "(default: repo root)")
+    args = parser.parse_args(argv)
+
+    names = args.scenarios or sorted(SCENARIOS)
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        parser.error(f"unknown scenarios {unknown} "
+                     f"(have: {sorted(SCENARIOS)})")
+
+    failed = False
+    missing = False
+    for name in names:
+        print(f"running scenario {name} ...", flush=True)
+        current = measure(name)
+        path = baseline_path(name, args.out_dir)
+        if args.update:
+            with open(path, "w") as fh:
+                json.dump(current, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"  baseline written: {os.path.relpath(path, _ROOT)}")
+            continue
+        if not os.path.exists(path):
+            print(f"  MISSING baseline {os.path.relpath(path, _ROOT)} "
+                  f"— run with --update to create it")
+            missing = True
+            continue
+        with open(path) as fh:
+            base = json.load(fh)
+        rows = judge(name, base, current, tolerance=args.tolerance,
+                     wall_tolerance=args.wall_tolerance,
+                     no_wall=args.no_wall)
+        print(render_diff(name, rows))
+        if any(verdict == "FAIL" for *_, verdict in rows):
+            failed = True
+
+    if failed:
+        print("\nBENCH GATE: REGRESSION — see FAIL rows above "
+              "(--update accepts intended changes)")
+        return 1
+    if missing:
+        return 2
+    if not args.update:
+        print("\nBENCH GATE: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -68,6 +68,13 @@ def run() -> None:
 
     trace_id = check_cross_site_trace(mits.sim.tracer)
 
+    ts = snap["timeseries"]
+    assert ts["enabled"], "telemetry sampler is off in the quickstart"
+    assert ts["samples"] > 1, "sampler never ticked on the sim clock"
+    sampled = {(s["component"], s["name"]) for s in ts["series"]}
+    assert ("simulator", "events_run") in sampled, \
+        "no event-rate series sampled"
+
     results = SloMonitor().evaluate(metrics)
     failures = [r.slo.name for r in results if not r.ok]
     assert not failures, f"default SLOs violated: {failures}"
@@ -77,8 +84,9 @@ def run() -> None:
     print(f"smoke ok: {events} events, {len(delay_hists)} VC delay "
           f"histograms, cross-site trace {trace_id} "
           f"({len(mits.sim.tracer.by_trace(trace_id))} spans), "
-          f"{sum(1 for r in results if not r.skipped)} SLOs judged, "
-          f"snapshot {len(payload)} bytes")
+          f"{ts['samples']} telemetry samples over {len(ts['series'])} "
+          f"series, {sum(1 for r in results if not r.skipped)} SLOs "
+          f"judged, snapshot {len(payload)} bytes")
 
 
 if __name__ == "__main__":

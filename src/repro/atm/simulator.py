@@ -64,6 +64,9 @@ class Simulator:
         #: by callsite (the callback's qualified name) — costs a
         #: perf_counter pair per event, so off by default
         self.profile_callbacks = profile_callbacks
+        #: a TelemetrySampler attached via its start(); schedule() wakes
+        #: it from dormancy when new work arrives (see obs/timeseries)
+        self._sampler: Optional[Any] = None
         self._m_events = self.metrics.counter("simulator", "events_run")
         self._m_scheduled = self.metrics.counter("simulator", "events_scheduled")
         self._m_depth = self.metrics.gauge("simulator", "queue_depth")
@@ -86,6 +89,9 @@ class Simulator:
         heapq.heappush(self._queue, ev)
         self._m_scheduled.inc()
         self._m_depth.set(len(self._queue))
+        sampler = self._sampler
+        if sampler is not None and sampler.dormant:
+            sampler.wake()
         return ev
 
     def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:

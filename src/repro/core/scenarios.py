@@ -1,0 +1,143 @@
+"""Named, deterministic driving scenarios for telemetry tooling.
+
+The live dashboard (``python -m repro.obs dashboard --live``) and the
+perf-regression gate (``scripts/bench_gate.py``) both need the same
+thing: a deployment with known work scheduled on it and a known
+simulated-time horizon to run to, so trajectories and baselines are
+reproducible run over run.  Each scenario builds a
+:class:`~repro.core.system.MitsSystem`, fast-forwards the setup
+(publishing assets and courseware), schedules the interactive phase,
+and returns a :class:`ScenarioRun` whose ``horizon`` the caller drives
+the simulator to — in one go (bench gate) or in slices (live
+dashboard refresh loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List
+
+from repro.atm.qos import ServiceCategory, TrafficContract
+from repro.authoring import (
+    InteractiveDocument, Scene, SceneObject, Section, TimelineEntry,
+)
+from repro.core.system import MitsSystem
+from repro.media.video import VideoStream
+from repro.streaming import VideoPlayer, VideoStreamSender
+
+__all__ = ["SCENARIOS", "ScenarioRun", "build"]
+
+
+@dataclass
+class ScenarioRun:
+    """A deployed system plus the horizon its scripted load runs to."""
+
+    name: str
+    mits: MitsSystem
+    horizon: float
+
+    def run_to_horizon(self) -> None:
+        """Drive the whole scripted load in one go."""
+        self.mits.sim.run(until=self.horizon)
+
+
+def _publish_course(mits: MitsSystem, *, seconds: float = 2.0) -> None:
+    """Standard assets + a one-scene video course, published."""
+    assets = mits.produce_standard_assets("dash", seconds=seconds)
+    author = mits.add_author("author1", "dash-101", catalog=assets)
+    scene = Scene(name="welcome", objects=[
+        SceneObject(name="clip", kind="video",
+                    content_ref="dash-intro-video"),
+        SceneObject(name="notes", kind="text", content_ref="dash-notes",
+                    position=(0, 300)),
+        SceneObject(name="skip", kind="choice", label="Skip the video"),
+    ])
+    scene.timeline.add(TimelineEntry("clip", 0.0))
+    scene.timeline.add(TimelineEntry("notes", 0.5, 1.5))
+    scene.behavior.when_selected("skip", ("stop", "clip"))
+    course = InteractiveDocument("dash-101", title="Dashboard course")
+    course.add_section(Section(name="intro", scenes=[scene]))
+    compiled = author.editor.compile_imd(course)
+    mits.wait(author.publish_courseware(
+        compiled, courseware_id="dash-101", title="Dashboard course",
+        program="telemetry", keywords=["telemetry"],
+        introduction_ref="dash-intro-video"))
+    mits.wait(author.publish_course(
+        course_code="D101", name="Dashboard course", program="telemetry",
+        courseware_id="dash-101"))
+
+
+def _enroll(mits: MitsSystem, host: str, student: str):
+    user = mits.add_user(host)
+    nav = user.navigator
+    nav.start()
+    nav.register(student)
+    mits.sim.run(until=mits.sim.now + 5)
+    return nav
+
+
+def _stream_video(mits: MitsSystem, host: str) -> VideoPlayer:
+    """Stream the intro video from the database site to *host* over a
+    dedicated VC — the classroom-streaming leg that drives the player
+    buffer / frame-lateness trajectories."""
+    sim = mits.sim
+    video = mits.database.db.content.get("dash-intro-video").data
+    stream = VideoStream(video)
+    player = VideoPlayer(sim, preroll=0.5,
+                         frames_expected=stream.frames,
+                         name=f"classroom-{host}")
+    contract = TrafficContract(ServiceCategory.UBR,
+                               pcr=mits.spec.access_bps / 424)
+    vc = mits.network.open_vc("database", host, contract, player.on_pdu)
+    sender = VideoStreamSender(sim, vc, video, lead=0.25)
+    sender.start()
+    return player
+
+
+def quickstart(**kwargs: Any) -> ScenarioRun:
+    """One student takes the course on demand — the full pipeline."""
+    kwargs.setdefault("topology", "star")
+    kwargs.setdefault("tracing", True)
+    mits = MitsSystem(**kwargs)
+    _publish_course(mits)
+    nav = _enroll(mits, "user1", "Dash Student")
+    nav.enter_classroom("D101", "dash-101")
+    _stream_video(mits, "user1")
+    return ScenarioRun("quickstart", mits, mits.sim.now + 30.0)
+
+
+def classroom(**kwargs: Any) -> ScenarioRun:
+    """Three students enter the classroom at staggered offsets — the
+    closest thing to the thesis's streamed classroom session."""
+    kwargs.setdefault("topology", "star")
+    kwargs.setdefault("extra_users", 2)
+    kwargs.setdefault("tracing", True)
+    mits = MitsSystem(**kwargs)
+    _publish_course(mits)
+    navs = [_enroll(mits, f"user{i + 1}", f"Student {i + 1}")
+            for i in range(3)]
+    for i, nav in enumerate(navs):
+        mits.sim.schedule(2.0 * i, nav.enter_classroom,
+                          "D101", "dash-101")
+        mits.sim.schedule(2.0 * i, _stream_video, mits, f"user{i + 1}")
+    return ScenarioRun("classroom", mits, mits.sim.now + 45.0)
+
+
+SCENARIOS: Dict[str, Callable[..., ScenarioRun]] = {
+    "quickstart": quickstart,
+    "classroom": classroom,
+}
+
+
+def build(name: str, **kwargs: Any) -> ScenarioRun:
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r} (have: {sorted(SCENARIOS)})") \
+            from None
+    return factory(**kwargs)
+
+
+def names() -> List[str]:
+    return sorted(SCENARIOS)

@@ -20,7 +20,9 @@ from repro.core.sites import (
 )
 from repro.database.api import wait_for
 from repro.media.base import MediaObject
+from repro.obs.profiler import LoopProfiler
 from repro.obs.slo import SloMonitor
+from repro.obs.timeseries import TelemetrySampler
 from repro.util.errors import NetworkError
 
 
@@ -29,11 +31,27 @@ class MitsSystem:
 
     def __init__(self, *, topology: str = "star", extra_users: int = 0,
                  seed: int = 1996, access_bps: float = 155.52e6,
-                 tracing: bool = False) -> None:
+                 tracing: bool = False,
+                 telemetry_interval: Optional[float] = 0.25,
+                 telemetry_capacity: int = 512,
+                 profile: bool = False) -> None:
         self.sim = Simulator()
         self.sim.tracer.enabled = tracing
         self.slos = SloMonitor()
         self.seed = seed
+        #: time-series telemetry: on by default (dormancy-aware, so it
+        #: never keeps the simulation alive); None disables it
+        self.sampler: Optional[TelemetrySampler] = None
+        if telemetry_interval is not None:
+            self.sampler = TelemetrySampler(
+                self.sim, interval=telemetry_interval,
+                capacity=telemetry_capacity)
+            self.sampler.start()
+        #: event-loop profiler: installed only on request — the
+        #: disabled path leaves Simulator._execute untouched
+        self.profiler = LoopProfiler()
+        if profile:
+            self.profiler.install(self.sim)
         if topology == "star":
             hosts = ["production", "author1", "database", "facilitator",
                      "user1"]
@@ -122,6 +140,8 @@ class MitsSystem:
         """
         metrics_report = self.sim.metrics.report()
         tracer = self.sim.tracer
+        if self.sampler is not None:
+            self.sampler.sample()  # flush a final point at `now`
         return {
             "topology": self.spec.name,
             "switches": list(self.spec.switches),
@@ -144,4 +164,7 @@ class MitsSystem:
                 "dropped": tracer.dropped,
                 "aggregate": tracer.aggregate(),
             },
+            "timeseries": self.sampler.snapshot()
+            if self.sampler is not None else {"enabled": False},
+            "profile": self.profiler.snapshot(),
         }

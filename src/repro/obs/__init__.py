@@ -1,12 +1,15 @@
-"""Observability: metrics, tracing, flight recorder, and SLOs.
+"""Observability: metrics, time series, tracing, events, SLOs, profiling.
 
 One :class:`MetricsRegistry` + :class:`Tracer` + :class:`FlightRecorder`
 trio is owned by each :class:`~repro.atm.simulator.Simulator` and
-shared by every component attached to it; ``MitsSystem.snapshot()``
-and the benchmark harness export their contents so measured
-trajectories are comparable across PRs.  :class:`SloMonitor` turns a
-metrics report into pass/fail verdicts, and ``python -m repro.obs``
-renders dumps into waterfalls and tables.
+shared by every component attached to it; a :class:`TelemetrySampler`
+turns the registry's point-in-time instruments into bounded
+time-series rings, and a :class:`LoopProfiler` attributes event-loop
+wall time to callback qualnames.  ``MitsSystem.snapshot()`` and the
+benchmark harness export all of it so measured trajectories are
+comparable across PRs.  :class:`SloMonitor` turns a metrics report
+into pass/fail verdicts, and ``python -m repro.obs`` renders dumps
+into waterfalls, sparkline dashboards, and tables.
 """
 
 from repro.obs.events import SEVERITIES, FlightEvent, FlightRecorder
@@ -20,7 +23,9 @@ from repro.obs.metrics import (
     NULL_HISTOGRAM,
     TIME_BUCKETS,
 )
+from repro.obs.profiler import CallsiteStats, LoopProfiler
 from repro.obs.slo import DEFAULT_SLOS, Slo, SloMonitor, SloResult
+from repro.obs.timeseries import Series, TelemetrySampler, load_timeseries
 from repro.obs.tracing import (
     NULL_SPAN,
     Span,
@@ -30,7 +35,12 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "CallsiteStats",
     "Counter",
+    "LoopProfiler",
+    "Series",
+    "TelemetrySampler",
+    "load_timeseries",
     "DEFAULT_SLOS",
     "FlightEvent",
     "FlightRecorder",

@@ -1,17 +1,26 @@
-"""``python -m repro.obs`` — render metrics/trace dumps and SLO verdicts.
+"""``python -m repro.obs`` — render metrics/trace/timeseries dumps.
 
 Subcommands::
 
     report <metrics.json> [--trace trace.jsonl] [--top N] [--strict]
-        Metrics summary + SLO table + span waterfalls.  The trace
-        sidecar is auto-discovered next to ``metrics_<name>.json``
-        when not given.  ``--strict`` exits 1 on SLO violations.
+        Metrics summary + telemetry health + SLO table + span
+        waterfalls.  The trace sidecar is auto-discovered next to
+        ``metrics_<name>.json`` when not given.  ``--strict`` exits 1
+        on SLO violations.
 
     trace <trace.jsonl> [--top N]
         Span waterfalls / slow-span table only.
 
     slo <metrics.json>
         SLO table only; exits 1 on violations.
+
+    dashboard [timeseries.json] [--live SCENARIO] [--follow] ...
+        Sparkline panels (link queues, windows, player buffers, event
+        rates) plus the event-loop profiler's top-N.  Reads an archived
+        ``timeseries_<scenario>.json`` sidecar, or with ``--live`` runs
+        a named scenario (see ``repro.core.scenarios``) and renders it
+        — one-shot at the horizon, or as a refresh loop with
+        ``--follow``.
 """
 
 from __future__ import annotations
@@ -20,12 +29,19 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.obs.dashboard import (
+    load_timeseries_file,
+    render_dashboard,
+    render_profile,
+)
 from repro.obs.report import (
+    find_timeseries_sidecar,
     find_trace_sidecar,
     load_metrics_file,
     load_trace_file,
     render_metrics_summary,
     render_slo_table,
+    render_telemetry_health,
     render_traces,
 )
 from repro.obs.slo import SloMonitor
@@ -41,6 +57,9 @@ def _report(args: argparse.Namespace) -> int:
     print(header)
     print()
     print(render_metrics_summary(metrics))
+    if "telemetry" in meta:
+        print()
+        print(render_telemetry_health(meta["telemetry"]))
     print()
     results = SloMonitor().evaluate(metrics)
     print(render_slo_table(results))
@@ -50,6 +69,11 @@ def _report(args: argparse.Namespace) -> int:
         print()
         print(f"== traces: {trace_path} ==")
         print(render_traces(spans, events, top=args.top))
+    ts_path = find_timeseries_sidecar(args.metrics)
+    if ts_path:
+        print()
+        print(f"(time-series sidecar: render with "
+              f"`python -m repro.obs dashboard {ts_path}`)")
     if args.strict and not all(r.ok for r in results):
         return 1
     return 0
@@ -66,6 +90,65 @@ def _slo(args: argparse.Namespace) -> int:
     results = SloMonitor().evaluate(metrics)
     print(render_slo_table(results))
     return 0 if all(r.ok for r in results) else 1
+
+
+def _dashboard(args: argparse.Namespace) -> int:
+    if args.timeseries is None and args.live is None:
+        print("dashboard: give a timeseries_*.json path or --live "
+              "<scenario>", file=sys.stderr)
+        return 2
+    if args.timeseries is not None:
+        payload = load_timeseries_file(args.timeseries)
+        print(render_dashboard(
+            payload, profile=payload.get("profile"), width=args.width,
+            top=args.top, title=payload.get("name") or args.timeseries))
+        return 0
+    return _live_dashboard(args)
+
+
+def _live_dashboard(args: argparse.Namespace) -> int:
+    # imported lazily: repro.core pulls in the whole stack, which the
+    # archived-file paths of this CLI don't need
+    from repro.core.scenarios import build
+
+    run = build(args.live, profile=not args.no_profile,
+                telemetry_interval=args.interval)
+    mits, sim = run.mits, run.mits.sim
+    if args.follow:
+        while sim.now < run.horizon and sim.pending():
+            sim.run(until=min(sim.now + args.slice, run.horizon))
+            frame = render_dashboard(
+                mits.sampler, profile=mits.profiler.snapshot(args.top),
+                width=args.width, top=args.top,
+                title=f"{run.name} (live, t={sim.now:.1f}s)")
+            print("\x1b[2J\x1b[H" + frame, flush=True)
+    else:
+        run.run_to_horizon()
+    mits.sampler.sample()
+    print(render_dashboard(
+        mits.sampler, profile=mits.profiler.snapshot(args.top),
+        width=args.width, top=args.top,
+        title=f"{run.name} @ t={sim.now:.1f}s"))
+    print()
+    print(render_telemetry_health(_health(mits)))
+    return 0
+
+
+def _health(mits) -> dict:
+    from repro.obs.export import telemetry_health
+    return telemetry_health(mits)
+
+
+def _profile_cmd(args: argparse.Namespace) -> int:
+    """Render the profile block embedded in a metrics/timeseries dump."""
+    meta, _ = load_metrics_file(args.metrics)
+    profile = meta.get("profile")
+    if not profile:
+        print("(no profile section in this dump — rerun the scenario "
+              "with profiling enabled)")
+        return 1
+    print(render_profile(profile, top=args.top))
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -92,6 +175,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_slo = sub.add_parser("slo", help="SLO verdicts only")
     p_slo.add_argument("metrics", help="metrics_<scenario>.json")
     p_slo.set_defaults(func=_slo)
+
+    p_dash = sub.add_parser(
+        "dashboard", help="sparkline panels + profiler top-N")
+    p_dash.add_argument("timeseries", nargs="?",
+                        help="timeseries_<scenario>.json (archived mode)")
+    p_dash.add_argument("--live", metavar="SCENARIO",
+                        help="run a named scenario and render it "
+                        "(see repro.core.scenarios)")
+    p_dash.add_argument("--follow", action="store_true",
+                        help="redraw every --slice simulated seconds "
+                        "while the live scenario runs")
+    p_dash.add_argument("--slice", type=float, default=2.0,
+                        help="simulated seconds per --follow frame")
+    p_dash.add_argument("--interval", type=float, default=0.25,
+                        help="live sampling interval (simulated s)")
+    p_dash.add_argument("--width", type=int, default=60,
+                        help="sparkline width in characters")
+    p_dash.add_argument("--top", type=int, default=10,
+                        help="profiler hotspots to list")
+    p_dash.add_argument("--no-profile", action="store_true",
+                        help="skip the event-loop profiler in live mode")
+    p_dash.set_defaults(func=_dashboard)
+
+    p_prof = sub.add_parser(
+        "profile", help="profiler top-N from an archived dump")
+    p_prof.add_argument("metrics", help="metrics_<scenario>.json with "
+                        "an embedded profile section")
+    p_prof.add_argument("--top", type=int, default=10)
+    p_prof.set_defaults(func=_profile_cmd)
 
     args = parser.parse_args(argv)
     return args.func(args)

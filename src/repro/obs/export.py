@@ -1,0 +1,87 @@
+"""Sidecar export: one call dumps a deployment's full telemetry.
+
+The benchmark harness (``benchmarks/conftest.py``), the perf-regression
+gate (``scripts/bench_gate.py``), and ad-hoc scripts all need the same
+three artefacts per scenario, in the formats the ``repro.obs`` CLI
+reads back:
+
+* ``metrics_<name>.json`` — the registry report wrapped with run meta,
+  SLO verdicts, and a telemetry-health block (flight-recorder drops,
+  tracer drops, sampler ring evictions — so truncation is visible);
+* ``trace_<name>.jsonl`` — spans then flight events, one JSON object
+  per line, tagged ``"record": "span" | "event"``;
+* ``timeseries_<name>.json`` — the sampler's ring-buffered series,
+  for the dashboard.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+__all__ = ["dump_observability", "telemetry_health"]
+
+
+def telemetry_health(mits) -> Dict[str, Any]:
+    """Loss/truncation accounting for one deployment's telemetry."""
+    sim = mits.sim
+    sampler = getattr(mits, "sampler", None)
+    return {
+        "flight_recorded": sim.recorder.recorded,
+        "flight_dropped": sim.recorder.dropped,
+        "tracer_spans": len(sim.tracer.spans),
+        "tracer_dropped": sim.tracer.dropped,
+        "sampler_samples": sampler.samples if sampler is not None else 0,
+        "sampler_evictions": sampler.evictions
+        if sampler is not None else 0,
+    }
+
+
+def dump_observability(mits, name: str, out_dir: str,
+                       *, profile: Optional[Dict[str, Any]] = None
+                       ) -> List[str]:
+    """Write the three sidecars for *mits* under *out_dir*.
+
+    Returns the paths written (metrics, trace, timeseries — the last
+    only when the deployment has a sampler).
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    written: List[str] = []
+    sim = mits.sim
+    metrics_report = sim.metrics.report()
+
+    metrics_path = os.path.join(out_dir, f"metrics_{name}.json")
+    dump: Dict[str, Any] = {
+        "name": name,
+        "sim_time": sim.now,
+        "events_run": sim.events_run,
+        "metrics": metrics_report,
+        "slo": mits.slos.summary(metrics_report),
+        "telemetry": telemetry_health(mits),
+    }
+    if profile is not None:
+        dump["profile"] = profile
+    with open(metrics_path, "w") as fh:
+        json.dump(dump, fh, indent=2, sort_keys=True)
+    written.append(metrics_path)
+
+    trace_path = os.path.join(out_dir, f"trace_{name}.jsonl")
+    with open(trace_path, "w") as fh:
+        for span in sim.tracer.spans:
+            fh.write(json.dumps({"record": "span", **span.to_dict()},
+                                sort_keys=True) + "\n")
+        for event in sim.recorder.events:
+            fh.write(json.dumps({"record": "event", **event.to_dict()},
+                                sort_keys=True) + "\n")
+    written.append(trace_path)
+
+    sampler = getattr(mits, "sampler", None)
+    if sampler is not None:
+        sampler.sample()  # flush a final point at `now`
+        ts_path = os.path.join(out_dir, f"timeseries_{name}.json")
+        with open(ts_path, "w") as fh:
+            json.dump({"name": name, **sampler.snapshot()}, fh,
+                      indent=2, sort_keys=True)
+        written.append(ts_path)
+    return written

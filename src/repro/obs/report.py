@@ -20,12 +20,14 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.obs.slo import SloResult
 
 __all__ = [
+    "find_timeseries_sidecar",
     "find_trace_sidecar",
     "load_metrics_file",
     "load_trace_file",
     "render_metrics_summary",
     "render_slo_table",
     "render_slow_spans",
+    "render_telemetry_health",
     "render_trace_tree",
     "render_traces",
 ]
@@ -84,6 +86,16 @@ def find_trace_sidecar(metrics_path: str) -> Optional[str]:
     return candidate if os.path.exists(candidate) else None
 
 
+def find_timeseries_sidecar(metrics_path: str) -> Optional[str]:
+    """``metrics_<name>.json`` → sibling ``timeseries_<name>.json``."""
+    directory, base = os.path.split(metrics_path)
+    if not base.startswith("metrics_"):
+        return None
+    candidate = os.path.join(directory,
+                             "timeseries_" + base[len("metrics_"):])
+    return candidate if os.path.exists(candidate) else None
+
+
 # -- formatting helpers ----------------------------------------------------
 
 
@@ -137,6 +149,37 @@ def render_metrics_summary(report: Mapping[str, Any]) -> str:
                 headline = "-"
             lines.append(f"{_pad(component + '.' + name, 41)}"
                          f"{_pad(kind, 11)}{len(entries):>6}  {headline}")
+    return "\n".join(lines)
+
+
+# -- telemetry health -------------------------------------------------------
+
+
+def render_telemetry_health(health: Mapping[str, Any]) -> str:
+    """Loss accounting: is any of this run's telemetry truncated?
+
+    Works on the ``telemetry`` block ``dump_observability`` writes into
+    ``metrics_*.json`` (or the equivalent live dict).  Dropped flight
+    events, dropped spans, and sampler ring evictions are flagged with
+    a leading ``!`` so silent truncation is visible in every summary.
+    """
+    lines = ["telemetry health"]
+    flight_dropped = health.get("flight_dropped", 0)
+    marker = "!" if flight_dropped else " "
+    lines.append(f" {marker} flight recorder: "
+                 f"{health.get('flight_recorded', 0)} events recorded, "
+                 f"{flight_dropped} evicted from the ring")
+    tracer_dropped = health.get("tracer_dropped", 0)
+    marker = "!" if tracer_dropped else " "
+    lines.append(f" {marker} tracer: {health.get('tracer_spans', 0)} "
+                 f"spans kept, {tracer_dropped} dropped")
+    evictions = health.get("sampler_evictions", 0)
+    marker = "!" if evictions else " "
+    lines.append(f" {marker} sampler: {health.get('sampler_samples', 0)} "
+                 f"samples, {evictions} ring evictions")
+    if flight_dropped or tracer_dropped or evictions:
+        lines.append("   (!) telemetry was truncated — oldest data is "
+                     "gone; raise capacities to keep it")
     return "\n".join(lines)
 
 

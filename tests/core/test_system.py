@@ -12,9 +12,9 @@ from repro.school.exercise import Exercise, MultipleChoiceQuestion
 from repro.util.errors import PresentationError
 
 
-def deploy(topology="star"):
+def deploy(topology="star", **kwargs):
     """Standard deployment: assets produced, one course published."""
-    mits = MitsSystem(topology=topology)
+    mits = MitsSystem(topology=topology, **kwargs)
     assets = mits.produce_standard_assets("atm", seconds=1.0)
     author = mits.add_author(
         "author1" if topology == "star" else "author1", "atm-101",
@@ -76,6 +76,33 @@ class TestDeployment:
     def test_courseware_keywords_indexed(self):
         mits = deploy()
         assert mits.database.db.docs_by_keyword("broadband") == ["atm-101"]
+
+    def test_snapshot_has_timeseries_section(self):
+        mits = deploy()
+        snap = mits.snapshot()
+        ts = snap["timeseries"]
+        assert ts["enabled"] is True
+        assert ts["samples"] > 0
+        keys = {(s["component"], s["name"]) for s in ts["series"]}
+        assert ("simulator", "events_run") in keys
+        assert ("simulator", "queue_depth") in keys
+        import json
+        json.dumps(ts)
+
+    def test_snapshot_profile_disabled_by_default(self):
+        mits = deploy()
+        assert mits.snapshot()["profile"]["enabled"] is False
+
+    def test_snapshot_profile_when_enabled(self):
+        mits = deploy(profile=True)
+        profile = mits.snapshot()["profile"]
+        assert profile["enabled"] is True
+        assert profile["events"] == mits.sim.events_run
+        assert profile["hotspots"]
+
+    def test_telemetry_can_be_disabled(self):
+        mits = deploy(telemetry_interval=None)
+        assert mits.snapshot()["timeseries"] == {"enabled": False}
 
 
 class TestSampleLearningSession:

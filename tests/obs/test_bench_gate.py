@@ -1,0 +1,141 @@
+"""Tests for the perf-regression gate (scripts/bench_gate.py)."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_SCRIPT = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                       "scripts", "bench_gate.py")
+_spec = importlib.util.spec_from_file_location("bench_gate", _SCRIPT)
+bench_gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_gate)
+
+
+@pytest.fixture()
+def sandbox(tmp_path, monkeypatch):
+    """Keep baselines and observability sidecars out of the repo."""
+    monkeypatch.setenv("BENCH_METRICS_DIR", str(tmp_path / "out"))
+    monkeypatch.delenv("BENCH_GATE_HANDICAP", raising=False)
+    return tmp_path
+
+
+class TestJudge:
+    BASE = {"metrics": {"events_run": 1000, "sim_time": 30.0,
+                        "wall_seconds": 1.0, "events_per_sec": 1000.0,
+                        "peak_queue_depth": 50.0, "peak_link_queue": 10.0,
+                        "peak_player_buffer": 8.0}}
+
+    def current(self, **overrides):
+        metrics = dict(self.BASE["metrics"], **overrides)
+        return {"metrics": metrics}
+
+    def verdicts(self, cur, **kwargs):
+        kwargs.setdefault("tolerance", 0.10)
+        kwargs.setdefault("wall_tolerance", 0.50)
+        kwargs.setdefault("no_wall", False)
+        rows = bench_gate.judge("s", self.BASE, cur, **kwargs)
+        return {metric: verdict for metric, *_, verdict in rows}
+
+    def test_identical_run_is_ok(self):
+        assert set(self.verdicts(self.current()).values()) == {"ok"}
+
+    def test_slower_wall_fails_only_past_tolerance(self):
+        within = self.verdicts(self.current(wall_seconds=1.4))
+        assert within["wall_seconds"] == "ok"
+        beyond = self.verdicts(self.current(wall_seconds=1.6))
+        assert beyond["wall_seconds"] == "FAIL"
+
+    def test_faster_wall_never_fails(self):
+        v = self.verdicts(self.current(wall_seconds=0.1,
+                                       events_per_sec=10000.0))
+        assert v["wall_seconds"] == "ok"
+        assert v["events_per_sec"] == "ok"
+
+    def test_throughput_drop_fails(self):
+        v = self.verdicts(self.current(events_per_sec=400.0))
+        assert v["events_per_sec"] == "FAIL"
+
+    def test_deterministic_drift_fails_both_directions(self):
+        assert self.verdicts(
+            self.current(events_run=1200))["events_run"] == "FAIL"
+        assert self.verdicts(
+            self.current(events_run=800))["events_run"] == "FAIL"
+
+    def test_peak_queue_growth_fails_but_shrink_is_fine(self):
+        assert self.verdicts(
+            self.current(peak_queue_depth=70.0))["peak_queue_depth"] \
+            == "FAIL"
+        assert self.verdicts(
+            self.current(peak_queue_depth=20.0))["peak_queue_depth"] \
+            == "ok"
+
+    def test_no_wall_skips_hardware_metrics(self):
+        v = self.verdicts(self.current(wall_seconds=99.0,
+                                       events_per_sec=1.0), no_wall=True)
+        assert "wall_seconds" not in v and "events_per_sec" not in v
+
+    def test_metric_missing_from_baseline_is_new_not_fail(self):
+        base = {"metrics": {k: v for k, v in self.BASE["metrics"].items()
+                            if k != "peak_player_buffer"}}
+        rows = bench_gate.judge("s", base, self.current(),
+                                tolerance=0.10, wall_tolerance=0.50,
+                                no_wall=False)
+        verdicts = {metric: verdict for metric, *_, verdict in rows}
+        assert verdicts["peak_player_buffer"] == "NEW"
+        assert "FAIL" not in verdicts.values()
+
+
+class TestGateEndToEnd:
+    """The acceptance criterion: --update writes a baseline, a clean
+    rerun passes, and an injected slowdown trips the gate non-zero."""
+
+    def test_update_then_pass_then_injected_regression(
+            self, sandbox, monkeypatch, capsys):
+        out = str(sandbox)
+        assert bench_gate.main(
+            ["quickstart", "--update", "--out-dir", out]) == 0
+        baseline_file = sandbox / "BENCH_quickstart.json"
+        assert baseline_file.exists()
+        baseline = json.loads(baseline_file.read_text())
+        assert baseline["metrics"]["events_run"] > 0
+        capsys.readouterr()
+
+        assert bench_gate.main(["quickstart", "--out-dir", out]) == 0
+        assert "BENCH GATE: ok" in capsys.readouterr().out
+
+        monkeypatch.setenv("BENCH_GATE_HANDICAP", "4.0")
+        assert bench_gate.main(["quickstart", "--out-dir", out]) == 1
+        report = capsys.readouterr().out
+        assert "FAIL" in report
+        assert "BENCH GATE: REGRESSION" in report
+        # deterministic metrics are unaffected by the handicap
+        for line in report.splitlines():
+            if line.strip().startswith(("events_run", "sim_time")):
+                assert line.rstrip().endswith("ok")
+
+    def test_handicapped_run_still_passes_without_wall(
+            self, sandbox, monkeypatch, capsys):
+        out = str(sandbox)
+        bench_gate.main(["quickstart", "--update", "--out-dir", out])
+        monkeypatch.setenv("BENCH_GATE_HANDICAP", "4.0")
+        assert bench_gate.main(
+            ["quickstart", "--no-wall", "--out-dir", out]) == 0
+
+    def test_missing_baseline_is_exit_2(self, sandbox, capsys):
+        assert bench_gate.main(
+            ["quickstart", "--out-dir", str(sandbox)]) == 2
+        assert "MISSING baseline" in capsys.readouterr().out
+
+    def test_unknown_scenario_rejected(self, sandbox):
+        with pytest.raises(SystemExit):
+            bench_gate.main(["warp-drive", "--out-dir", str(sandbox)])
+
+    def test_sidecars_dumped_for_offline_debugging(self, sandbox):
+        bench_gate.main(
+            ["quickstart", "--update", "--out-dir", str(sandbox)])
+        out = sandbox / "out"
+        assert (out / "metrics_gate_quickstart.json").exists()
+        assert (out / "timeseries_gate_quickstart.json").exists()
+        assert (out / "trace_gate_quickstart.jsonl").exists()

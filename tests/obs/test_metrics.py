@@ -101,6 +101,43 @@ class TestHistogram:
         assert len(h.counts) == len(TIME_BUCKETS)
 
 
+class TestHistogramQuantileEdges:
+    def test_empty_histogram_is_zero_for_any_q(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        assert h.quantile(0.0) == 0.0
+        assert h.quantile(0.5) == 0.0
+        assert h.quantile(0.99) == 0.0
+        assert h.quantile(1.0) == 0.0
+
+    def test_single_sample(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        h.observe(1.5)
+        # every non-zero quantile lands in the sample's bucket
+        assert h.quantile(0.5) == 2.0
+        assert h.quantile(0.99) == 2.0
+        assert h.quantile(1.0) == 2.0
+
+    def test_q_zero_is_the_lowest_bound(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        h.observe(3.0)
+        assert h.quantile(0.0) == 1.0
+
+    def test_q_one_covers_overflowed_samples(self):
+        """With samples past the last bucket, q=1.0 falls back to the
+        exact observed max instead of understating the tail."""
+        h = Histogram(buckets=(1.0,))
+        h.observe(0.5)
+        h.observe(100.0)
+        assert h.quantile(1.0) == 100.0
+
+    def test_out_of_range_q_rejected(self):
+        h = Histogram(buckets=(1.0,))
+        h.observe(0.5)
+        for bad in (-0.01, 1.01, 2.0):
+            with pytest.raises(ValueError):
+                h.quantile(bad)
+
+
 class TestDisabledRegistry:
     def test_null_instruments(self):
         reg = MetricsRegistry(enabled=False)

@@ -1,0 +1,127 @@
+"""Tests for the event-loop profiler."""
+
+import types
+
+import pytest
+
+from repro.atm.simulator import Simulator
+from repro.obs.profiler import LoopProfiler
+
+
+def busy(n=100):
+    total = 0
+    for i in range(n):
+        total += i * i
+    return total
+
+
+class TestDisabledPath:
+    """Profiler off must mean *no* per-event cost — not a cheap check,
+    none at all."""
+
+    def test_no_shadow_on_a_fresh_simulator(self):
+        sim = Simulator()
+        assert "_execute" not in sim.__dict__
+        assert sim._execute.__func__ is Simulator._execute
+
+    def test_class_execute_allocates_no_closures(self):
+        """The disabled path is the plain class method: it must not
+        contain nested code objects (closures/lambdas), which would
+        mean a per-event allocation."""
+        consts = Simulator._execute.__code__.co_consts
+        assert not any(isinstance(c, types.CodeType) for c in consts)
+
+    def test_uninstall_restores_the_class_method(self):
+        sim = Simulator()
+        profiler = LoopProfiler().install(sim)
+        assert "_execute" in sim.__dict__
+        profiler.uninstall()
+        assert "_execute" not in sim.__dict__
+        assert sim._execute.__func__ is Simulator._execute
+
+
+class TestAttribution:
+    def test_costs_land_under_the_callback_qualname(self):
+        sim = Simulator()
+        profiler = LoopProfiler().install(sim)
+        for i in range(5):
+            sim.schedule(float(i), busy)
+        sim.run()
+        stats = {s.callsite: s for s in profiler.hotspots(top=None)}
+        assert "busy" in stats
+        assert stats["busy"].calls == 5
+        assert stats["busy"].cum_seconds > 0
+        assert stats["busy"].self_seconds <= stats["busy"].cum_seconds
+
+    def test_lambdas_get_a_name(self):
+        sim = Simulator()
+        profiler = LoopProfiler().install(sim)
+        sim.schedule(0.0, lambda: busy(10))
+        sim.run()
+        assert any("<lambda>" in s.callsite
+                   for s in profiler.hotspots(top=None))
+
+    def test_hotspots_ranked_by_cumulative_time(self):
+        sim = Simulator()
+        profiler = LoopProfiler().install(sim)
+        sim.schedule(0.0, busy, 20000)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        ranked = profiler.hotspots()
+        assert ranked[0].callsite == "busy"
+
+    def test_top_limits_the_table(self):
+        sim = Simulator()
+        profiler = LoopProfiler().install(sim)
+        for i, cb in enumerate((busy, lambda: None, sum)):
+            sim.schedule(float(i), cb, *(([],) if cb is sum else ()))
+        sim.run()
+        assert len(profiler.hotspots(top=2)) == 2
+
+
+class TestReport:
+    def test_snapshot_shape_and_ratio(self):
+        sim = Simulator()
+        profiler = LoopProfiler().install(sim)
+        for i in range(10):
+            sim.schedule(float(i), busy)
+        sim.run()
+        snap = profiler.snapshot(top=3)
+        assert snap["enabled"] is True
+        assert snap["events"] == 10
+        assert snap["sim_seconds"] == pytest.approx(9.0)
+        assert snap["wall_seconds"] > 0
+        assert snap["sim_to_wall"] == pytest.approx(
+            snap["sim_seconds"] / snap["wall_seconds"])
+        assert len(snap["hotspots"]) <= 3
+        assert {"callsite", "calls", "cum_seconds", "self_seconds",
+                "mean_us"} <= set(snap["hotspots"][0])
+
+    def test_snapshot_when_never_installed(self):
+        snap = LoopProfiler().snapshot()
+        assert snap["enabled"] is False
+        assert snap["events"] == 0
+        assert snap["hotspots"] == []
+
+    def test_double_install_rejected(self):
+        sim = Simulator()
+        profiler = LoopProfiler().install(sim)
+        with pytest.raises(RuntimeError):
+            profiler.install(sim)
+        profiler.uninstall()
+
+    def test_context_manager_uninstalls(self):
+        sim = Simulator()
+        with LoopProfiler().install(sim) as profiler:
+            sim.schedule(0.0, busy)
+            sim.run()
+        assert "_execute" not in sim.__dict__
+        assert profiler.events == 1
+
+    def test_simulator_metrics_still_recorded_under_profile(self):
+        sim = Simulator()
+        LoopProfiler().install(sim)
+        sim.schedule(0.0, busy)
+        sim.run()
+        assert sim.events_run == 1
+        assert sim.metrics.counter("simulator", "events_run").value == 1
