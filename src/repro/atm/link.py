@@ -29,6 +29,7 @@ class LinkStats:
     transmitted: int = 0
     dropped_overflow: int = 0
     dropped_errors: int = 0
+    dropped_down: int = 0
     busy_time: float = 0.0
 
 
@@ -55,10 +56,21 @@ class Link:
         self.buffer_cells = buffer_cells
         self.name = name
         #: fault injection: probability a transmitted cell is lost on
-        #: the wire (seeded, so experiments are reproducible)
+        #: the wire (seeded, so experiments are reproducible).  The RNG
+        #: is created lazily by the ``error_rate`` setter, so enabling
+        #: loss on a link constructed with ``error_rate=0.0`` works.
+        self._error_seed = error_seed
+        self._error_rng: Optional[random.Random] = None
+        self._error_rate = 0.0
         self.error_rate = error_rate
-        self._error_rng = random.Random(error_seed) if error_rate > 0 \
-            else None
+        #: fault injection: link outage — while down, arriving and
+        #: in-flight cells are lost and the transmitter is parked
+        self._down = False
+        #: fault injection: extra per-cell propagation jitter, uniform
+        #: in [0, _jitter) seconds (seeded); can reorder cells, which
+        #: the AAL5 CRC turns into detected frame loss upstream
+        self._jitter = 0.0
+        self._jitter_rng: Optional[random.Random] = None
         self.sink: Optional[Callable[[Cell], None]] = None
         self._queues: List[Deque[Tuple[Cell, ServiceCategory]]] = [
             deque() for _ in ServiceCategory
@@ -78,12 +90,63 @@ class Link:
         self._metrics = metrics
         self._label = label
 
+    @property
+    def error_rate(self) -> float:
+        """Probability a transmitted cell is lost on the wire."""
+        return self._error_rate
+
+    @error_rate.setter
+    def error_rate(self, rate: float) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("error_rate must be in [0, 1)")
+        self._error_rate = rate
+        # regression guard: a link constructed with error_rate=0.0 has
+        # no RNG yet — create one here so enabling loss later actually
+        # drops cells instead of silently no-opping
+        if rate > 0 and self._error_rng is None:
+            self._error_rng = random.Random(self._error_seed)
+
+    def set_error_rate(self, rate: float, seed: Optional[int] = None) -> None:
+        """Enable (or change) seeded random cell loss on this link.
+
+        With *seed* given the loss RNG is re-seeded; otherwise an
+        existing RNG (or the construction-time seed) is kept so
+        adjusting the rate mid-run stays reproducible.
+        """
+        if seed is not None:
+            self._error_seed = seed
+            self._error_rng = random.Random(seed) if rate > 0 else None
+        self.error_rate = rate
+
     def inject_errors(self, rate: float, seed: int = 0) -> None:
         """Enable (or change) seeded random cell loss on this link."""
-        if not 0.0 <= rate < 1.0:
-            raise ValueError("error rate must be in [0, 1)")
-        self.error_rate = rate
-        self._error_rng = random.Random(seed) if rate > 0 else None
+        self.set_error_rate(rate, seed=seed)
+
+    # -- fault hooks (driven by repro.faults.FaultInjector) --------------
+
+    @property
+    def down(self) -> bool:
+        return self._down
+
+    def set_down(self, down: bool) -> None:
+        """Take the link out of (or back into) service.
+
+        While down, arriving cells are dropped and the transmitter is
+        parked; cells already buffered resume transmission when the
+        link comes back up.
+        """
+        if down == self._down:
+            return
+        self._down = down
+        if not down and not self._busy and self._queued:
+            self._start_transmission()
+
+    def set_jitter(self, jitter: float, seed: int = 0) -> None:
+        """Add (or clear) seeded uniform propagation jitter."""
+        if jitter < 0:
+            raise ValueError("jitter must be >= 0")
+        self._jitter = jitter
+        self._jitter_rng = random.Random(seed) if jitter > 0 else None
 
     @property
     def cell_time(self) -> float:
@@ -101,6 +164,10 @@ class Link:
         of the lowest-priority non-empty class; if none exists and the
         arriving cell itself is the lowest class, the arrival is lost.
         """
+        if self._down:
+            self.stats.dropped_down += 1
+            self._count_drop("link_down", category.name)
+            return False
         if self._queued >= self.buffer_cells:
             if not self._shed_low_priority(category):
                 self.stats.dropped_overflow += 1
@@ -147,6 +214,9 @@ class Link:
         return False
 
     def _start_transmission(self) -> None:
+        if self._down:
+            self._busy = False
+            return
         for q in self._queues:
             if q:
                 cell, _cat = q.popleft()
@@ -164,12 +234,19 @@ class Link:
     def _finish_transmission(self, cell: Cell) -> None:
         self.stats.transmitted += 1
         self._m_transmitted.inc()
-        if self._error_rng is not None and \
-                self._error_rng.random() < self.error_rate:
+        if self._down:
+            # went down mid-transmission: the cell is lost on the wire
+            self.stats.dropped_down += 1
+            self._count_drop("link_down", "any")
+        elif self._error_rng is not None and \
+                self._error_rng.random() < self._error_rate:
             self.stats.dropped_errors += 1
             self._count_drop("error", "any")
         elif self.sink is not None:
-            self.sim.schedule(self.prop_delay, self.sink, cell)
+            delay = self.prop_delay
+            if self._jitter_rng is not None:
+                delay += self._jitter_rng.uniform(0.0, self._jitter)
+            self.sim.schedule(delay, self.sink, cell)
         self._start_transmission()
 
     def utilization(self) -> float:

@@ -190,6 +190,9 @@ class AtmNetwork:
         self._vc_counter = itertools.count(1)
         # next free VCI per (switch, out_port); VCIs < 32 are reserved
         self._vci_alloc: Dict[Tuple[str, str], itertools.count] = {}
+        #: every currently-open VC by id — fault injection tears
+        #: circuits down by route, so the network must know its VCs
+        self.vcs: Dict[int, VirtualCircuit] = {}
 
     # -- topology construction ------------------------------------------
 
@@ -324,7 +327,13 @@ class AtmNetwork:
         vc = VirtualCircuit(vc_id, self.hosts[src], self.hosts[dst],
                             contract, path, first_vci, last_vci=in_vci)
         self.hosts[dst]._bind_receive(in_vci, vc, handler)
+        self.vcs[vc_id] = vc
         return vc
+
+    def vcs_between(self, src: str, dst: str) -> List[VirtualCircuit]:
+        """Open VCs from host *src* to host *dst*, oldest first."""
+        return [vc for _, vc in sorted(self.vcs.items())
+                if vc.open and vc.src.name == src and vc.dst.name == dst]
 
     def open_duplex(self, a: str, b: str, contract: TrafficContract,
                     handler_a: Callable[[bytes, DeliveryInfo], None],
@@ -343,6 +352,7 @@ class AtmNetwork:
         if not vc.open:
             return
         vc.open = False
+        self.vcs.pop(vc.vc_id, None)
         self.sim.recorder.record(
             "atm", "vc_close", vc=vc.vc_id,
             route=f"{vc.path[0]}->{vc.path[-1]}")

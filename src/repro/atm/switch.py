@@ -39,6 +39,7 @@ class SwitchStats:
     unroutable: int = 0
     policed_dropped: int = 0
     policed_tagged: int = 0
+    crash_dropped: int = 0
 
 
 class Switch:
@@ -50,6 +51,9 @@ class Switch:
         self.switching_delay = switching_delay
         self._out_links: Dict[str, Link] = {}
         self._table: Dict[Tuple[str, int, int], VcTableEntry] = {}
+        #: fault injection: while crashed the fabric eats every cell
+        #: (the VC table survives the crash — restart is silent)
+        self._crashed = False
         self.stats = SwitchStats()
         metrics = sim.metrics
         self._m_switched = metrics.counter("switch", "cells_switched",
@@ -60,6 +64,8 @@ class Switch:
                                                   switch=name)
         self._m_policed_tagged = metrics.counter("switch", "policed_tagged",
                                                  switch=name)
+        self._m_crash_dropped = metrics.counter("switch", "crash_dropped",
+                                                switch=name)
 
     def attach_output(self, port: str, link: Link) -> None:
         """Wire the outgoing link for *port* (port names = neighbour node)."""
@@ -90,8 +96,24 @@ class Switch:
     def remove_route(self, in_port: str, in_vpi: int, in_vci: int) -> None:
         self._table.pop((in_port, in_vpi, in_vci), None)
 
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def set_crashed(self, crashed: bool) -> None:
+        """Crash (or restart) the switch — driven by fault injection.
+
+        A crashed switch drops every arriving cell; its VC table is
+        kept, so a restart restores forwarding without re-signalling.
+        """
+        self._crashed = crashed
+
     def receive(self, cell: Cell, in_port: str) -> None:
         """Cell arrival from the upstream link on *in_port*."""
+        if self._crashed:
+            self.stats.crash_dropped += 1
+            self._m_crash_dropped.inc()
+            return
         entry = self._table.get((in_port, cell.header.vpi, cell.header.vci))
         if entry is None:
             self.stats.unroutable += 1

@@ -15,13 +15,14 @@ dashboard refresh loop).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.atm.qos import ServiceCategory, TrafficContract
 from repro.authoring import (
     InteractiveDocument, Scene, SceneObject, Section, TimelineEntry,
 )
 from repro.core.system import MitsSystem
+from repro.faults import FaultInjector, FaultPlan, RESILIENT
 from repro.media.video import VideoStream
 from repro.streaming import VideoPlayer, VideoStreamSender
 
@@ -35,6 +36,8 @@ class ScenarioRun:
     name: str
     mits: MitsSystem
     horizon: float
+    #: armed fault injector, when the scenario runs under a fault plan
+    injector: Optional[FaultInjector] = None
 
     def run_to_horizon(self) -> None:
         """Drive the whole scripted load in one go."""
@@ -81,15 +84,21 @@ def _stream_video(mits: MitsSystem, host: str) -> VideoPlayer:
     dedicated VC — the classroom-streaming leg that drives the player
     buffer / frame-lateness trajectories."""
     sim = mits.sim
+    policy = mits.recovery
     video = mits.database.db.content.get("dash-intro-video").data
     stream = VideoStream(video)
     player = VideoPlayer(sim, preroll=0.5,
                          frames_expected=stream.frames,
-                         name=f"classroom-{host}")
+                         name=f"classroom-{host}",
+                         conceal_limit=policy.conceal_limit,
+                         degrade_after_stalls=policy.degrade_after_stalls)
     contract = TrafficContract(ServiceCategory.UBR,
                                pcr=mits.spec.access_bps / 424)
     vc = mits.network.open_vc("database", host, contract, player.on_pdu)
     sender = VideoStreamSender(sim, vc, video, lead=0.25)
+    # close the degradation loop: sustained stalls at the player ask
+    # the sender for a coarser bitrate
+    player.on_degrade = sender.downgrade
     sender.start()
     return player
 
@@ -123,20 +132,67 @@ def classroom(**kwargs: Any) -> ScenarioRun:
     return ScenarioRun("classroom", mits, mits.sim.now + 45.0)
 
 
+def faulty_classroom(**kwargs: Any) -> ScenarioRun:
+    """The quickstart flow under the ``classroom-chaos`` fault plan,
+    with the RESILIENT recovery policy fighting back — the scenario
+    every recovery path is benchmarked and chaos-tested against."""
+    kwargs.setdefault("topology", "star")
+    kwargs.setdefault("tracing", True)
+    kwargs.setdefault("recovery", RESILIENT)
+    faults = kwargs.pop("faults", "classroom-chaos")
+    fault_seed = kwargs.pop("fault_seed", None)
+    mits = MitsSystem(**kwargs)
+    _publish_course(mits)
+    nav = _enroll(mits, "user1", "Chaos Student")
+    nav.enter_classroom("D101", "dash-101")
+    _stream_video(mits, "user1")
+    injector = FaultInjector(faults, seed=fault_seed).attach(mits)
+    mits.injector = injector
+    # keep the control plane busy through the fault window: these
+    # catalogue queries land on torn-down VCs (forcing reconnects) and
+    # on the stalled/slowed database CPU (forcing RPC retries)
+    user = mits.users["user1"]
+    for at in (10.5, 12.0, 14.5, 17.0, 19.5):
+        mits.sim.schedule(max(0.0, at - mits.sim.now),
+                          user.client.list_courses)
+    return ScenarioRun("faulty-classroom", mits, mits.sim.now + 30.0,
+                       injector=injector)
+
+
 SCENARIOS: Dict[str, Callable[..., ScenarioRun]] = {
     "quickstart": quickstart,
     "classroom": classroom,
+    "faulty-classroom": faulty_classroom,
 }
 
 
-def build(name: str, **kwargs: Any) -> ScenarioRun:
+def build(name: str, *, faults: Union[str, FaultPlan, None] = None,
+          fault_seed: Optional[int] = None, **kwargs: Any) -> ScenarioRun:
+    """Build a named scenario, optionally arming a fault plan on it.
+
+    *faults* is a plan name (see ``repro.faults.PLANS``) or a
+    :class:`FaultPlan`; *fault_seed* overrides the plan's seed for
+    reproducing a specific chaotic run.
+    """
     try:
         factory = SCENARIOS[name]
     except KeyError:
         raise ValueError(
             f"unknown scenario {name!r} (have: {sorted(SCENARIOS)})") \
             from None
-    return factory(**kwargs)
+    if name == "faulty-classroom":
+        # the factory arms its own (overridable) plan
+        if faults is not None:
+            kwargs["faults"] = faults
+        if fault_seed is not None:
+            kwargs["fault_seed"] = fault_seed
+        return factory(**kwargs)
+    run = factory(**kwargs)
+    if faults is not None:
+        injector = FaultInjector(faults, seed=fault_seed).attach(run.mits)
+        run.mits.injector = injector
+        run.injector = injector
+    return run
 
 
 def names() -> List[str]:

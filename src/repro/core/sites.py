@@ -16,6 +16,7 @@ from repro.atm.qos import ServiceCategory, TrafficContract
 from repro.atm.simulator import Simulator
 from repro.authoring.editor import CompiledCourseware, CoursewareEditor
 from repro.database.api import CoursewareDatabase, DatabaseClient, DatabaseServer
+from repro.faults.recovery import RecoveryPolicy
 from repro.media.base import MediaObject
 from repro.media.production import MediaProductionCenter
 from repro.navigator.navigator import Navigator
@@ -31,15 +32,38 @@ CONTROL_CONTRACT = TrafficContract(ServiceCategory.NRT_VBR, pcr=8_000,
                                    scr=2_000, mbs=400)
 
 
+def _recovering_pair(sim, network, client_host, server_host, contract,
+                     policy: RecoveryPolicy):
+    """``connect_pair`` with the site's recovery policy threaded in."""
+    return connect_pair(
+        sim, network, client_host, server_host, contract,
+        auto_reconnect=policy.auto_reconnect,
+        max_reconnects=policy.max_reconnects,
+        reconnect_delay=policy.reconnect_delay)
+
+
+def _recovering_client(sim, connection, policy: RecoveryPolicy) -> RpcClient:
+    """``RpcClient`` with the site's retry/backoff policy threaded in."""
+    return RpcClient(
+        sim, connection,
+        default_timeout=policy.rpc_timeout,
+        max_retries=policy.rpc_max_retries,
+        backoff_base=policy.backoff_base,
+        backoff_factor=policy.backoff_factor,
+        backoff_jitter=policy.backoff_jitter)
+
+
 class DatabaseSite:
     """The courseware database: storage plus its RPC server."""
 
     def __init__(self, sim: Simulator, network: AtmNetwork,
                  host: str = "database", *,
-                 service_time: float = 0.002) -> None:
+                 service_time: float = 0.002,
+                 recovery: Optional[RecoveryPolicy] = None) -> None:
         self.sim = sim
         self.network = network
         self.host = host
+        self.recovery = recovery or RecoveryPolicy()
         self.db = CoursewareDatabase()
         self.db.content.tracer = sim.tracer
         self.server = DatabaseServer(self.db)
@@ -57,13 +81,14 @@ class DatabaseSite:
         Returns the client-side RPC endpoint for the caller to build
         its client wrappers on.
         """
-        conn_client, conn_server = connect_pair(
-            self.sim, self.network, client_host, self.host, contract)
+        conn_client, conn_server = _recovering_pair(
+            self.sim, self.network, client_host, self.host, contract,
+            self.recovery)
         rpc_server = RpcServer(self.sim, conn_server,
                                processor=self.processor)
         self.server.attach(rpc_server)
         self.endpoints.append(rpc_server)
-        return RpcClient(self.sim, conn_client)
+        return _recovering_client(self.sim, conn_client, self.recovery)
 
     def requests_served(self) -> int:
         return sum(e.requests_served for e in self.endpoints)
@@ -152,21 +177,24 @@ class FacilitatorSite:
     """The on-line facilitator: school services + the specialist."""
 
     def __init__(self, sim: Simulator, network: AtmNetwork,
-                 host: str = "facilitator") -> None:
+                 host: str = "facilitator", *,
+                 recovery: Optional[RecoveryPolicy] = None) -> None:
         self.sim = sim
         self.network = network
         self.host = host
+        self.recovery = recovery or RecoveryPolicy()
         self.service = SchoolService(sim=sim)
         self.endpoints: List[RpcServer] = []
 
     def serve(self, client_host: str,
               contract: TrafficContract = CONTROL_CONTRACT) -> RpcClient:
-        conn_client, conn_server = connect_pair(
-            self.sim, self.network, client_host, self.host, contract)
+        conn_client, conn_server = _recovering_pair(
+            self.sim, self.network, client_host, self.host, contract,
+            self.recovery)
         rpc_server = RpcServer(self.sim, conn_server)
         self.service.attach(rpc_server)
         self.endpoints.append(rpc_server)
-        return RpcClient(self.sim, conn_client)
+        return _recovering_client(self.sim, conn_client, self.recovery)
 
 
 class UserSite:

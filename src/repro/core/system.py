@@ -19,6 +19,7 @@ from repro.core.sites import (
     ProductionSite, UserSite,
 )
 from repro.database.api import wait_for
+from repro.faults.recovery import RecoveryPolicy
 from repro.media.base import MediaObject
 from repro.obs.profiler import LoopProfiler
 from repro.obs.slo import SloMonitor
@@ -34,11 +35,17 @@ class MitsSystem:
                  tracing: bool = False,
                  telemetry_interval: Optional[float] = 0.25,
                  telemetry_capacity: int = 512,
-                 profile: bool = False) -> None:
+                 profile: bool = False,
+                 recovery: Optional[RecoveryPolicy] = None) -> None:
         self.sim = Simulator()
         self.sim.tracer.enabled = tracing
         self.slos = SloMonitor()
         self.seed = seed
+        #: how hard the transport/streaming layers fight back against
+        #: faults; the default policy changes nothing in clean runs
+        self.recovery = recovery or RecoveryPolicy()
+        #: set by the scenario layer when a fault plan is armed
+        self.injector = None
         #: time-series telemetry: on by default (dormancy-aware, so it
         #: never keeps the simulation alive); None disables it
         self.sampler: Optional[TelemetrySampler] = None
@@ -64,9 +71,11 @@ class MitsSystem:
         else:
             raise NetworkError(f"unknown topology {topology!r}")
 
-        self.database = DatabaseSite(self.sim, self.network, "database")
+        self.database = DatabaseSite(self.sim, self.network, "database",
+                                     recovery=self.recovery)
         self.facilitator = FacilitatorSite(self.sim, self.network,
-                                           "facilitator")
+                                           "facilitator",
+                                           recovery=self.recovery)
         self.production = ProductionSite(
             self.sim, "production",
             self.database.serve("production"), seed=seed)
@@ -167,4 +176,6 @@ class MitsSystem:
             "timeseries": self.sampler.snapshot()
             if self.sampler is not None else {"enabled": False},
             "profile": self.profiler.snapshot(),
+            "faults": self.injector.snapshot()
+            if self.injector is not None else {"plan": None},
         }

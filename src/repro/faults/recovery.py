@@ -1,0 +1,51 @@
+"""Recovery policies: the defensive half of fault injection.
+
+A :class:`RecoveryPolicy` is a bag of knobs the core wiring threads
+into the transport and streaming layers when a system is built:
+
+* connection auto-reconnect after VC teardown (``transport.connection``)
+* RPC timeout/retry with exponential backoff + jitter (``transport.rpc``)
+* playout concealment and bitrate downgrade (``streaming``)
+
+The default policy disables everything, preserving the exact
+pre-existing behaviour of clean runs (and their bench baselines); the
+:data:`RESILIENT` preset is what the chaos scenarios use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Knobs for how hard the system fights back against faults."""
+
+    #: re-signal a replacement VC pair after a teardown
+    auto_reconnect: bool = False
+    max_reconnects: int = 8
+    reconnect_delay: float = 0.05
+    #: RPC client retries (0 = a timeout fails the call immediately)
+    rpc_max_retries: int = 0
+    rpc_timeout: float = 10.0
+    backoff_base: float = 0.2
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.5
+    #: playout: conceal up to this many consecutive missing frames
+    conceal_limit: int = 0
+    #: ask the sender for a bitrate downgrade after this many stalls
+    degrade_after_stalls: int = 0
+
+    @property
+    def enabled(self) -> bool:
+        return (self.auto_reconnect or self.rpc_max_retries > 0
+                or self.conceal_limit > 0 or self.degrade_after_stalls > 0)
+
+
+#: everything on — what the faulty scenarios run with
+RESILIENT = RecoveryPolicy(
+    auto_reconnect=True, max_reconnects=8, reconnect_delay=0.05,
+    rpc_max_retries=4, rpc_timeout=2.0,
+    backoff_base=0.1, backoff_factor=2.0, backoff_jitter=0.5,
+    conceal_limit=3, degrade_after_stalls=2,
+)

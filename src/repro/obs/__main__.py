@@ -112,8 +112,13 @@ def _live_dashboard(args: argparse.Namespace) -> int:
     from repro.core.scenarios import build
 
     run = build(args.live, profile=not args.no_profile,
-                telemetry_interval=args.interval)
+                telemetry_interval=args.interval,
+                faults=args.faults, fault_seed=args.fault_seed)
     mits, sim = run.mits, run.mits.sim
+    if run.injector is not None:
+        plan = run.injector.plan
+        print(f"(fault plan {plan.name!r} armed, seed {plan.seed})",
+              flush=True)
     if args.follow:
         while sim.now < run.horizon and sim.pending():
             sim.run(until=min(sim.now + args.slice, run.horizon))
@@ -196,6 +201,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="profiler hotspots to list")
     p_dash.add_argument("--no-profile", action="store_true",
                         help="skip the event-loop profiler in live mode")
+    p_dash.add_argument("--faults", metavar="PLAN",
+                        help="arm a named fault plan on the live "
+                        "scenario (see repro.faults.PLANS)")
+    p_dash.add_argument("--fault-seed", type=int, default=None,
+                        help="override the fault plan's seed")
     p_dash.set_defaults(func=_dashboard)
 
     p_prof = sub.add_parser(

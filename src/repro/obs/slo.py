@@ -22,7 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["DEFAULT_SLOS", "Slo", "SloMonitor", "SloResult"]
+__all__ = ["DEFAULT_SLOS", "DEGRADATION_METRICS", "Slo", "SloMonitor",
+           "SloResult"]
 
 #: statistics summed across instrument entries (counters / totals)
 _SUM_STATS = ("value", "count", "sum")
@@ -95,6 +96,19 @@ DEFAULT_SLOS: Tuple[Slo, ...] = (
         description="playback starts within 2 s of the first frame"),
 )
 
+#: counters whose presence marks a run that *survived with
+#: degradation*: the recovery machinery (retries, reconnects, playout
+#: concealment, bitrate downgrades) had to fire to keep the session
+#: alive.  A passing run with any of these non-zero is judged
+#: "degraded", not "ok" — the distinction a chaos report cares about.
+DEGRADATION_METRICS: Tuple[Tuple[str, str], ...] = (
+    ("rpc", "retries"),
+    ("connection", "reconnects"),
+    ("player", "frames_concealed"),
+    ("player", "degradations"),
+    ("streaming", "degradations"),
+)
+
 
 def _entries(report: Mapping[str, Any], component: str,
              metric: str) -> List[Dict[str, Any]]:
@@ -123,12 +137,35 @@ class SloMonitor:
         return self.evaluate(registry.report())
 
     def summary(self, report: Mapping[str, Any]) -> Dict[str, Any]:
-        """JSON-stable pass/fail summary for snapshots and dumps."""
+        """JSON-stable pass/fail summary for snapshots and dumps.
+
+        ``verdict`` is three-valued: ``"failed"`` when an SLO is
+        violated, ``"degraded"`` when all SLOs hold but recovery
+        machinery fired (see :data:`DEGRADATION_METRICS`), ``"ok"``
+        for a clean run.
+        """
         results = self.evaluate(report)
+        passed = all(r.ok for r in results)
+        degradations = self.degradations(report)
+        verdict = "failed" if not passed \
+            else ("degraded" if degradations else "ok")
         return {
-            "pass": all(r.ok for r in results),
+            "pass": passed,
+            "verdict": verdict,
+            "degradations": degradations,
             "results": [r.to_dict() for r in results],
         }
+
+    @staticmethod
+    def degradations(report: Mapping[str, Any]) -> Dict[str, float]:
+        """Non-zero recovery counters, keyed ``component.metric``."""
+        out: Dict[str, float] = {}
+        for component, metric in DEGRADATION_METRICS:
+            total = _sum_values(_entries(report, component, metric),
+                                "value")
+            if total:
+                out[f"{component}.{metric}"] = total
+        return out
 
     def _evaluate_one(self, slo: Slo, report: Mapping[str, Any]) -> SloResult:
         observed = self._observe(slo, report)

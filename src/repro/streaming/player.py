@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Optional
+from typing import Callable, Deque, Dict, Optional
 
 from repro.atm.network import DeliveryInfo
 from repro.atm.simulator import Simulator
@@ -30,6 +30,8 @@ class PlayoutStats:
     frames_expected: int = 0
     frames_played: int = 0
     frames_skipped: int = 0
+    frames_concealed: int = 0
+    degradations: int = 0
     startup_delay: float = 0.0
     stalls: int = 0
     rebuffer_time: float = 0.0
@@ -49,11 +51,24 @@ class VideoPlayer:
 
     def __init__(self, sim: Simulator, *, preroll: float = 0.5,
                  skip_grace: float = 2.0,
-                 frames_expected: int = 0, name: str = "player") -> None:
+                 frames_expected: int = 0, name: str = "player",
+                 conceal_limit: int = 0,
+                 degrade_after_stalls: int = 0,
+                 on_degrade: Optional[Callable[[], None]] = None) -> None:
         self.sim = sim
         self.preroll = preroll
         self.skip_grace = skip_grace
         self.name = name
+        #: graceful degradation: up to this many *consecutive* missing
+        #: frames are concealed (previous frame held) instead of
+        #: stalling — late-frame concealment
+        self.conceal_limit = conceal_limit
+        #: after this many stalls (and each further multiple), ask the
+        #: sender for a bitrate downgrade via ``on_degrade``; 0 = off
+        self.degrade_after_stalls = degrade_after_stalls
+        self.on_degrade = on_degrade
+        self._next_degrade_at = degrade_after_stalls
+        self._conceal_run = 0
         self.stats = PlayoutStats(frames_expected=frames_expected)
         metrics = sim.metrics
         self._recorder = sim.recorder
@@ -66,6 +81,10 @@ class VideoPlayer:
                                         player=name)
         self._m_stalls = metrics.counter("player", "stalls", player=name)
         self._m_skipped = metrics.counter("player", "frames_skipped",
+                                          player=name)
+        self._m_concealed = metrics.counter("player", "frames_concealed",
+                                            player=name)
+        self._m_degrade = metrics.counter("player", "degradations",
                                           player=name)
         self._buffer: Dict[int, float] = {}   # index -> timestamp
         self._arrival: Dict[int, float] = {}
@@ -82,6 +101,12 @@ class VideoPlayer:
 
     def on_pdu(self, payload: bytes, info: DeliveryInfo) -> None:
         index, timestamp, last, _frame = unpack_frame(payload)
+        if self._play_started is not None and index < self._next_frame:
+            # stale: the playout point moved past this frame (skipped
+            # or concealed while it was delayed) — never buffer it
+            if last:
+                self._last_index = index
+            return
         self._buffer[index] = timestamp
         self._arrival[index] = self.sim.now
         self._timestamps[index] = timestamp
@@ -124,6 +149,11 @@ class VideoPlayer:
         if self._last_index is not None and index > self._last_index:
             self.finished = True
             return
+        if self.stats.frames_expected and index >= self.stats.frames_expected:
+            # the tail of the stream was lost outright: don't wait for
+            # a last-frame marker that will never arrive
+            self.finished = True
+            return
         if index in self._buffer:
             due = self._clock_offset + self._buffer[index]
             if self.sim.now >= due:
@@ -131,14 +161,28 @@ class VideoPlayer:
             else:
                 self.sim.schedule(due - self.sim.now, self._advance)
         else:
-            # frame missing at its deadline: stall
+            # frame missing at its deadline: conceal (hold the previous
+            # frame) within the consecutive budget, otherwise stall
             if self._stall_started is None:
                 due = self._clock_offset + self._estimate_timestamp(index)
                 if self.sim.now >= due:
-                    self._begin_stall()
+                    if self._conceal_run < self.conceal_limit:
+                        self._conceal_frame(index)
+                    else:
+                        self._begin_stall()
                 else:
                     self.sim.schedule(due - self.sim.now, self._advance)
             # else: already stalling; arrival or skip timer resumes us
+
+    def _conceal_frame(self, index: int) -> None:
+        self._conceal_run += 1
+        self.stats.frames_concealed += 1
+        self._m_concealed.inc()
+        self._recorder.record("streaming", "frame_concealed",
+                              severity="warning", player=self.name,
+                              frame=index)
+        self._next_frame = index + 1
+        self._advance()
 
     def _estimate_timestamp(self, index: int) -> float:
         if index in self._timestamps:
@@ -161,6 +205,16 @@ class VideoPlayer:
         self._m_stalls.inc()
         self._recorder.record("streaming", "stall", severity="warning",
                               player=self.name, frame=self._next_frame)
+        if (self.degrade_after_stalls
+                and self.stats.stalls >= self._next_degrade_at):
+            self._next_degrade_at += self.degrade_after_stalls
+            self.stats.degradations += 1
+            self._m_degrade.inc()
+            self._recorder.record(
+                "streaming", "degradation_requested", severity="warning",
+                player=self.name, stalls=self.stats.stalls)
+            if self.on_degrade is not None:
+                self.on_degrade()
         self.sim.schedule(self.skip_grace, self._skip_if_still_missing,
                           self._next_frame)
 
@@ -190,6 +244,7 @@ class VideoPlayer:
             self._advance()
 
     def _play_frame(self, index: int) -> None:
+        self._conceal_run = 0
         self.stats.frames_played += 1
         del self._buffer[index]
         self._m_buffer.set(len(self._buffer))

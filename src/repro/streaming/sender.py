@@ -16,6 +16,7 @@ from repro.atm.network import VirtualCircuit
 from repro.atm.simulator import Simulator
 from repro.media.video import VideoStream
 from repro.obs.tracing import NULL_SPAN, TraceContext
+from repro.util.errors import NetworkError
 
 _FRAME_HEADER = struct.Struct(">IdB")  # index, timestamp, last flag
 
@@ -42,8 +43,13 @@ class VideoStreamSender:
         self.lead = lead
         self.frames_sent = 0
         self.bytes_sent = 0
+        self.frames_lost = 0
         self.started_at: Optional[float] = None
         self.finished = False
+        #: graceful degradation: fraction of each frame's bytes kept.
+        #: Downgrading mid-stream models switching to a coarser SMPG
+        #: quantiser when the receiver reports sustained stalls.
+        self.quality = 1.0
         #: trace context of the request that asked for this stream;
         #: the whole playout becomes one span under it
         self.ctx = ctx
@@ -53,6 +59,8 @@ class VideoStreamSender:
                                              stream=label)
         self._m_bytes = sim.metrics.counter("streaming", "bytes_sent",
                                             stream=label)
+        self._m_degrade = sim.metrics.counter("streaming", "degradations",
+                                              stream=label)
 
     @property
     def mean_bitrate_bps(self) -> float:
@@ -74,9 +82,30 @@ class VideoStreamSender:
             self.sim.schedule(send_at, self._send_frame, i, timestamp,
                               last, frame)
 
+    def downgrade(self, factor: float = 0.5) -> None:
+        """Shrink remaining frames to ``quality * factor`` of their
+        encoded size (floored at 10%) — the receiver asked for relief."""
+        self.quality = max(0.1, self.quality * factor)
+        self._m_degrade.inc()
+        self.sim.recorder.record(
+            "streaming", "bitrate_downgrade", severity="warning",
+            stream=f"vc{self.vc.vc_id}", quality=round(self.quality, 3))
+
     def _send_frame(self, index: int, timestamp: float, last: bool,
                     frame: bytes) -> None:
-        self.vc.send(pack_frame(index, timestamp, last, frame))
+        if self.quality < 1.0:
+            frame = frame[:max(1, int(len(frame) * self.quality))]
+        try:
+            self.vc.send(pack_frame(index, timestamp, last, frame))
+        except NetworkError:
+            # VC torn down under us: frames scheduled before the fault
+            # must not unwind the event loop — drop and count them
+            self.frames_lost += 1
+            if last:
+                self.finished = True
+                self._span.set(bytes=self.bytes_sent, lost=self.frames_lost)
+                self._span.end()
+            return
         self.frames_sent += 1
         self.bytes_sent += len(frame)
         self._m_frames.inc()

@@ -44,6 +44,8 @@ class ConnectionStats:
     decode_errors: int = 0
     acks_sent: int = 0
     failed: int = 0
+    send_failures: int = 0
+    reconnects: int = 0
 
 
 class Connection:
@@ -66,9 +68,15 @@ class Connection:
         #: invoked (instead of raising out of the event loop) when the
         #: peer is declared unreachable after max_retries timeouts
         self.on_error = on_error
+        #: invoked (once per outage) when the underlying VC refuses a
+        #: send — the hook a reconnect policy hangs off (see
+        #: :func:`connect_pair`'s ``auto_reconnect``)
+        self.on_transport_lost: Optional[Callable[["Connection"], None]] = None
         self.name = name
         self.stats = ConnectionStats()
         self.closed = False
+        #: set while the underlying VC is torn down; cleared by rebind
+        self.transport_lost = False
         #: set when the connection was torn down by a retry exhaustion
         self.last_error: Optional[Exception] = None
 
@@ -91,6 +99,8 @@ class Connection:
                                         conn=label)
         self._m_window = metrics.gauge("connection", "window_occupancy",
                                        conn=label)
+        self._m_reconnects = metrics.counter("connection", "reconnects",
+                                             conn=label)
         # wire receive side: the caller must route incoming AAL5 PDUs
         # (for the VC underlying this endpoint) to handle_pdu.
 
@@ -135,9 +145,55 @@ class Connection:
         self._retries.setdefault(msg.seq, 0)
         self._sent_at[msg.seq] = self.sim.now
         self._m_window.set(len(self._in_flight))
-        self.endpoint.send(msg.encode())
+        self._raw_send(msg.encode())
         self.stats.sent += 1
         self._arm_timer()
+
+    def _raw_send(self, data: bytes) -> bool:
+        """Push bytes at the VC, absorbing a torn-down circuit.
+
+        A closed VC must not unwind the simulator loop (the retransmit
+        timer sends from inside it); instead the loss is recorded once
+        and ``on_transport_lost`` is scheduled so a reconnect policy
+        can re-establish the circuit.  Un-sent messages stay in flight
+        and ride the go-back-N timer onto the replacement VC.
+        """
+        try:
+            self.endpoint.send(data)
+            return True
+        except NetworkError:
+            self.stats.send_failures += 1
+            if not self.transport_lost:
+                self.transport_lost = True
+                self.sim.recorder.record(
+                    "transport", "vc_lost", severity="warning",
+                    conn=self.name)
+                if self.on_transport_lost is not None:
+                    self.sim.schedule(0.0, self.on_transport_lost, self)
+            return False
+
+    def rebind(self, endpoint: DuplexEndpoint) -> None:
+        """Attach this connection to a freshly-opened duplex endpoint.
+
+        ARQ state (sequence numbers, in-flight messages, the receive
+        cursor) is preserved: the peer's connection keeps its state
+        too, so in-flight messages are simply retransmitted over the
+        new circuit and delivery stays exactly-once in-order.
+        """
+        self.endpoint = endpoint
+        self.transport_lost = False
+        self.closed = False
+        self.stats.reconnects += 1
+        self._m_reconnects.inc()
+        self.sim.recorder.record("transport", "reconnected",
+                                 conn=self.name)
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if self._in_flight:
+            # resend immediately rather than waiting out the RTO
+            self.sim.schedule(0.0, self._on_timeout)
+        self._pump()
 
     def _arm_timer(self) -> None:
         if self._timer is None and self._in_flight:
@@ -180,7 +236,7 @@ class Connection:
             recorder.record("transport", "retransmit", severity="warning",
                             trace_id=msg.trace_id or None, conn=self.name,
                             seq=seq, retry=self._retries[base])
-            self.endpoint.send(msg.encode())
+            self._raw_send(msg.encode())
             self.stats.retransmitted += 1
             self._m_retransmits.inc()
         self._arm_timer()
@@ -245,7 +301,7 @@ class Connection:
             self.on_message(msg)
 
     def _send_ack(self) -> None:
-        self.endpoint.send(
+        self._raw_send(
             Message(type=MessageType.ACK, ack=self._recv_next).encode())
         self.stats.acks_sent += 1
 
@@ -267,10 +323,21 @@ class Connection:
 
 
 def connect_pair(sim: Simulator, network, a: str, b: str, contract, *,
-                 window: int = 32, rto: float = 0.05
+                 window: int = 32, rto: float = 0.05,
+                 auto_reconnect: bool = False, max_reconnects: int = 8,
+                 reconnect_delay: float = 0.05
                  ) -> tuple[Connection, Connection]:
     """Open a duplex VC between hosts *a* and *b* and wrap both ends in
-    connections, fully wired.  Returns (conn_at_a, conn_at_b)."""
+    connections, fully wired.  Returns (conn_at_a, conn_at_b).
+
+    With ``auto_reconnect`` the pair re-establishes itself after a VC
+    teardown: the first failed send on either end schedules (after
+    ``reconnect_delay``) a full teardown of the old channel and the
+    signalling of a replacement, onto which both connections carry
+    their ARQ state — in-flight messages are retransmitted, nothing is
+    delivered twice or out of order.  After ``max_reconnects``
+    attempts the pair gives up and reports through ``on_error``.
+    """
     holder: dict = {}
 
     def handler_a(payload: bytes, info: DeliveryInfo) -> None:
@@ -284,4 +351,49 @@ def connect_pair(sim: Simulator, network, a: str, b: str, contract, *,
                              retransmit_timeout=rto, name=f"{a}->{b}")
     holder["b"] = Connection(sim, channel.endpoint(b), window=window,
                              retransmit_timeout=rto, name=f"{b}->{a}")
+    if auto_reconnect:
+        state = {"channel": channel, "attempts": 0, "pending": False}
+
+        def on_lost(_conn: Connection) -> None:
+            # one re-establishment per outage, even when both ends
+            # notice the teardown in the same RTO window
+            if state["pending"]:
+                return
+            state["pending"] = True
+            sim.schedule(reconnect_delay, reopen)
+
+        def reopen() -> None:
+            state["pending"] = False
+            ca, cb = holder["a"], holder["b"]
+            if state["attempts"] >= max_reconnects:
+                error = NetworkError(
+                    f"connection {a}<->{b}: gave up after "
+                    f"{max_reconnects} reconnect attempts")
+                for conn in (ca, cb):
+                    conn.close()
+                    conn.last_error = error
+                    conn.stats.failed += 1
+                    conn._m_failures.inc()
+                    if conn.on_error is not None:
+                        conn.on_error(error)
+                return
+            state["attempts"] += 1
+            # release the surviving half of the old channel before
+            # re-signalling, or admission control double-counts it
+            old = state["channel"]
+            network.close_vc(old.forward)
+            network.close_vc(old.backward)
+            try:
+                fresh = network.open_duplex(a, b, contract,
+                                            handler_a, handler_b)
+            except NetworkError:
+                state["pending"] = True
+                sim.schedule(reconnect_delay, reopen)
+                return
+            state["channel"] = fresh
+            ca.rebind(fresh.endpoint(a))
+            cb.rebind(fresh.endpoint(b))
+
+        holder["a"].on_transport_lost = on_lost
+        holder["b"].on_transport_lost = on_lost
     return holder["a"], holder["b"]

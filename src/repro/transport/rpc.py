@@ -17,6 +17,7 @@ from the content server to the navigator.
 from __future__ import annotations
 
 import itertools
+import random
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
@@ -25,7 +26,7 @@ from repro.obs.tracing import NULL_SPAN, TraceContext
 from repro.transport.connection import Connection
 from repro.transport.messages import Message, MessageType
 from repro.transport.wire import dump_value, load_value
-from repro.util.errors import ReproError
+from repro.util.errors import NetworkError, ReproError
 
 
 class RpcError(ReproError):
@@ -48,6 +49,13 @@ class PendingCall:
     done: bool = False
     result: Any = None
     error: Optional[RpcError] = None
+    #: transmissions so far (1 = first attempt) and retries still allowed
+    attempts: int = 1
+    retries_left: int = 0
+    timeout: float = 10.0
+    _body: bytes = b""
+    _trace_id: int = 0
+    _span_id: int = 0
     _timeout_event: Optional[Event] = None
     #: client-side span covering the request/response round trip
     _span: Any = NULL_SPAN
@@ -109,35 +117,65 @@ class StreamReceiver:
 
 
 class RpcClient:
-    """Caller side.  Wire with ``RpcClient(sim, connection)``."""
+    """Caller side.  Wire with ``RpcClient(sim, connection)``.
+
+    With ``max_retries > 0`` a timed-out call is retried with
+    exponential backoff plus seeded jitter before the failure is
+    reported — the recovery half of content-server stall injection.
+    Retries reuse the original correlation id, so semantics are
+    at-least-once: a late response to an earlier attempt still
+    completes the call (handlers should be idempotent, as MITS
+    catalogue lookups are).
+    """
 
     def __init__(self, sim: Simulator, connection: Connection, *,
-                 default_timeout: float = 10.0) -> None:
+                 default_timeout: float = 10.0,
+                 max_retries: int = 0,
+                 backoff_base: float = 0.2,
+                 backoff_factor: float = 2.0,
+                 backoff_jitter: float = 0.5,
+                 retry_seed: int = 7) -> None:
         self.sim = sim
         self.connection = connection
         self.default_timeout = default_timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.backoff_jitter = backoff_jitter
+        self._retry_rng = random.Random(retry_seed)
         self._corr = itertools.count(1)
         self._pending: Dict[int, PendingCall] = {}
         self._streams: Dict[int, StreamReceiver] = {}
+        label = connection.name or "rpc"
+        metrics = sim.metrics
+        self._m_retries = metrics.counter("rpc", "retries", client=label)
+        self._m_exhausted = metrics.counter("rpc", "retries_exhausted",
+                                            client=label)
         connection.on_message = self._on_message
 
     def call(self, method: str, params: Any = None, *,
              on_result: Optional[Callable[[Any], None]] = None,
              on_error: Optional[Callable[[RpcError], None]] = None,
-             timeout: Optional[float] = None) -> PendingCall:
+             timeout: Optional[float] = None,
+             max_retries: Optional[int] = None) -> PendingCall:
         """Issue a request.  Completion is signalled via callbacks."""
         corr = next(self._corr)
         tracer = self.sim.tracer
+        t = timeout if timeout is not None else self.default_timeout
+        retries = max_retries if max_retries is not None else self.max_retries
         pending = PendingCall(method=method, corr_id=corr,
                               on_result=on_result, on_error=on_error,
+                              retries_left=retries, timeout=t,
                               _ctx=tracer.current)
         pending._span = tracer.span(f"rpc.client:{method}", method=method)
         self._pending[corr] = pending
         body = dump_value({"method": method, "params": params})
         msg = Message(type=MessageType.REQUEST, corr_id=corr, body=body)
         self._stamp(msg, pending._span)
+        pending._body = msg.body
+        pending._trace_id = msg.trace_id
+        pending._span_id = msg.span_id
         self.connection.send(msg)
-        t = timeout if timeout is not None else self.default_timeout
         pending._timeout_event = self.sim.schedule(
             t, self._on_timeout, corr)
         return pending
@@ -168,14 +206,66 @@ class RpcClient:
             msg.span_id = ctx.span_id
 
     def _on_timeout(self, corr: int) -> None:
-        pending = self._pending.pop(corr, None)
-        if pending is not None and not pending.done:
-            pending._span.set(error="timeout")
+        pending = self._pending.get(corr)
+        if pending is None or pending.done:
+            self._pending.pop(corr, None)
+            return
+        if pending.retries_left > 0:
+            pending.retries_left -= 1
+            # exponential backoff with seeded jitter: attempt n waits
+            # base * factor**(n-1), stretched by up to +jitter*100%
+            delay = (self.backoff_base
+                     * self.backoff_factor ** (pending.attempts - 1)
+                     * (1.0 + self.backoff_jitter * self._retry_rng.random()))
+            pending.attempts += 1
+            self._note_retry(pending)
+            self.sim.schedule(delay, self._resend, corr)
+            pending._timeout_event = self.sim.schedule(
+                delay + pending.timeout, self._on_timeout, corr)
+            return
+        self._pending.pop(corr, None)
+        if pending.attempts > 1:
+            self._m_exhausted.inc()
+            self.sim.recorder.record(
+                "rpc", "retries_exhausted", severity="error",
+                trace_id=pending._trace_id or None,
+                method=pending.method, attempts=pending.attempts)
+        pending._span.set(error="timeout")
+        pending._span.end()
+        tracer = self.sim.tracer
+        token = tracer.attach(pending._ctx)
+        try:
+            pending._fail(RpcError(pending.method, "timed out"))
+        finally:
+            tracer.detach(token)
+
+    def _note_retry(self, pending: PendingCall) -> None:
+        self._m_retries.inc()
+        self.sim.recorder.record(
+            "rpc", "retry", severity="warning",
+            trace_id=pending._trace_id or None,
+            method=pending.method, attempt=pending.attempts)
+
+    def _resend(self, corr: int) -> None:
+        pending = self._pending.get(corr)
+        if pending is None or pending.done:
+            return
+        msg = Message(type=MessageType.REQUEST, corr_id=corr,
+                      trace_id=pending._trace_id, span_id=pending._span_id,
+                      body=pending._body)
+        try:
+            self.connection.send(msg)
+        except NetworkError as exc:
+            # connection torn down while backing off: fail structurally
+            self._pending.pop(corr, None)
+            if pending._timeout_event is not None:
+                pending._timeout_event.cancel()
+            pending._span.set(error=str(exc))
             pending._span.end()
             tracer = self.sim.tracer
             token = tracer.attach(pending._ctx)
             try:
-                pending._fail(RpcError(pending.method, "timed out"))
+                pending._fail(RpcError(pending.method, str(exc)))
             finally:
                 tracer.detach(token)
 
@@ -240,10 +330,33 @@ class SharedProcessor:
     def __init__(self, sim: Simulator, service_time: float) -> None:
         self.sim = sim
         self.service_time = service_time
+        #: fault injection: multiplier on per-job service time (>1 =
+        #: degraded CPU / thrashing disk)
+        self.slowdown = 1.0
+        self._stalled_until = 0.0
         self._queue: list = []
         self._busy = False
         self.jobs_done = 0
         self.busy_time = 0.0
+
+    def stall(self, duration: float) -> None:
+        """Freeze the processor for *duration* seconds from now.
+
+        Queued and newly-submitted jobs wait; nothing is lost.  Models
+        a content-server GC pause / failover blackout.
+        """
+        self._stalled_until = max(self._stalled_until,
+                                  self.sim.now + duration)
+        # wake up when the stall expires so queued work resumes even
+        # if no new submissions arrive
+        if self._queue and not self._busy:
+            self._run_next()
+
+    def set_slowdown(self, factor: float) -> None:
+        """Scale every subsequent job's service time by *factor*."""
+        if factor <= 0:
+            raise ValueError("slowdown factor must be positive")
+        self.slowdown = factor
 
     def submit(self, job: Callable[[], None]) -> None:
         self._queue.append(job)
@@ -254,10 +367,18 @@ class SharedProcessor:
         if not self._queue:
             self._busy = False
             return
+        if self.sim.now < self._stalled_until:
+            # hold the queue until the stall lifts; _busy stays True so
+            # concurrent submits don't double-schedule the wakeup
+            self._busy = True
+            self.sim.schedule(self._stalled_until - self.sim.now,
+                              self._run_next)
+            return
         self._busy = True
         job = self._queue.pop(0)
-        self.busy_time += self.service_time
-        self.sim.schedule(self.service_time, self._finish, job)
+        service = self.service_time * self.slowdown
+        self.busy_time += service
+        self.sim.schedule(service, self._finish, job)
 
     def _finish(self, job: Callable[[], None]) -> None:
         job()

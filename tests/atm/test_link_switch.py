@@ -93,6 +93,29 @@ class TestLink:
         sim.run(until=0.002)
         assert link.utilization() == pytest.approx(0.5)
 
+    def test_error_rate_enabled_after_clean_construction(self):
+        # regression: a link constructed with error_rate=0.0 had no
+        # _error_rng, so enabling loss later silently dropped nothing
+        sim = Simulator()
+        delivered = []
+        link = Link(sim, rate_bps=424e3, prop_delay=0.0)
+        link.sink = lambda c: delivered.append(c.seqno)
+        link.set_error_rate(0.5, seed=7)
+        assert link._error_rng is not None
+        for i in range(200):
+            sim.schedule(i * 0.01, link.enqueue, make_cell(seqno=i))
+        sim.run()
+        assert link.stats.dropped_errors > 0
+        assert len(delivered) == 200 - link.stats.dropped_errors
+
+    def test_error_rate_property_setter_also_arms_rng(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=424e3)
+        link.sink = lambda c: None
+        link.error_rate = 0.25
+        assert link._error_rng is not None
+        assert link.error_rate == 0.25
+
 
 class TestSwitch:
     def _wired(self, sim):
