@@ -25,7 +25,12 @@ On failure the diff table shows baseline vs current per metric.
 
 Each run also refreshes the ``metrics_/trace_/timeseries_`` sidecars
 under ``benchmarks/out/`` (override with ``BENCH_METRICS_DIR``), so a
-failed gate is debuggable offline with ``python -m repro.obs``.
+failed gate is debuggable offline with ``python -m repro.obs``.  The
+previous sidecar (when present) is diffed instrument-by-instrument via
+:meth:`MetricsRegistry.delta` and the largest absolute movements are
+printed next to the percentage table.  Every scenario is additionally
+run through the :class:`ConservationAuditor`; any violation fails the
+gate regardless of the perf verdicts.
 
 Testing hook: ``BENCH_GATE_HANDICAP=<factor>`` scales measured wall
 time (2.0 = pretend the run took twice as long), which is how the test
@@ -47,7 +52,9 @@ _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(_ROOT, "src"))
 
 from repro.core.scenarios import SCENARIOS, build  # noqa: E402
+from repro.obs.audit import ConservationAuditor  # noqa: E402
 from repro.obs.export import dump_observability  # noqa: E402
+from repro.obs.metrics import MetricsRegistry  # noqa: E402
 
 #: (metric, direction, class) — direction says which way is a
 #: regression: "up" = larger is worse, "down" = smaller is worse,
@@ -77,6 +84,7 @@ def measure(scenario: str) -> Dict[str, Any]:
     mits = run.mits
     sampler = mits.sampler
     profile = mits.profiler.snapshot(top=5)
+    violations = ConservationAuditor(mits).check()
 
     def peak(component: str, name: str) -> float:
         value = sampler.peak(component, name)
@@ -94,15 +102,35 @@ def measure(scenario: str) -> Dict[str, Any]:
     }
     out_dir = os.environ.get(
         "BENCH_METRICS_DIR", os.path.join(_ROOT, "benchmarks", "out"))
+    # per-instrument drift: diff the fresh registry report against the
+    # previous run's sidecar, read before dump_observability overwrites
+    prev_metrics = _previous_sidecar_metrics(scenario, out_dir)
+    instrument_drift = MetricsRegistry.delta(
+        prev_metrics, mits.sim.metrics.report()) \
+        if prev_metrics is not None else None
     dump_observability(mits, f"gate_{scenario}", out_dir, profile=profile)
     return {
         "scenario": scenario,
         "metrics": metrics,
+        "audit_violations": [v.to_dict() for v in violations],
+        "instrument_drift": instrument_drift,
         "profile_top": [
             {"callsite": h["callsite"], "cum_seconds": h["cum_seconds"],
              "calls": h["calls"]}
             for h in profile["hotspots"]],
     }
+
+
+def _previous_sidecar_metrics(scenario: str,
+                              out_dir: str) -> Optional[Dict[str, Any]]:
+    path = os.path.join(out_dir, f"metrics_gate_{scenario}.json")
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path) as fh:
+            return json.load(fh).get("metrics")
+    except (OSError, ValueError):
+        return None
 
 
 def judge(scenario: str, base: Dict[str, Any], cur: Dict[str, Any],
@@ -137,15 +165,33 @@ def render_diff(scenario: str,
                 rows: List[Tuple[str, Any, Any, float, str]]) -> str:
     lines = [f"scenario {scenario}",
              f"  {'metric':<22}{'baseline':>14}{'current':>14}"
-             f"{'delta':>9}  verdict",
-             "  " + "-" * 68]
+             f"{'abs':>12}{'delta':>9}  verdict",
+             "  " + "-" * 80]
     for metric, b, c, delta, verdict in rows:
         fmt = lambda v: "-" if v is None else (  # noqa: E731
             f"{v:.4g}" if isinstance(v, float) else str(v))
+        abs_s = "-" if b is None or c is None else f"{c - b:+.4g}"
         delta_s = "-" if b is None or delta == float("inf") \
             else f"{delta * 100:+.1f}%"
         lines.append(f"  {metric:<22}{fmt(b):>14}{fmt(c):>14}"
-                     f"{delta_s:>9}  {verdict}")
+                     f"{abs_s:>12}{delta_s:>9}  {verdict}")
+    return "\n".join(lines)
+
+
+def render_instrument_drift(drift: Dict[str, Dict[str, Any]],
+                            top: int = 8) -> str:
+    """Largest absolute per-instrument movements vs the previous run."""
+    moved = [(key, row) for key, row in drift.items()
+             if row["delta"] or "only" in row]
+    if not moved:
+        return "  (no instrument drift vs previous sidecar)"
+    moved.sort(key=lambda kv: abs(kv[1]["delta"]), reverse=True)
+    lines = [f"  top instrument drift vs previous run "
+             f"({len(moved)} instruments moved):"]
+    for key, row in moved[:top]:
+        tag = f"  [{row['only']} only]" if "only" in row else ""
+        lines.append(f"    {key:<52} {row['before']:>10.4g} -> "
+                     f"{row['after']:>10.4g}  ({row['delta']:+.4g}){tag}")
     return "\n".join(lines)
 
 
@@ -182,6 +228,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     for name in names:
         print(f"running scenario {name} ...", flush=True)
         current = measure(name)
+        violations = current.pop("audit_violations")
+        drift = current.pop("instrument_drift")
+        if violations:
+            print(f"  AUDIT: {len(violations)} conservation violations")
+            for v in violations:
+                print(f"    {v['component']}/{v['entity']}: "
+                      f"{v['invariant']} expected {v['expected']} "
+                      f"actual {v['actual']}")
+            failed = True
         path = baseline_path(name, args.out_dir)
         if args.update:
             with open(path, "w") as fh:
@@ -200,6 +255,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                      wall_tolerance=args.wall_tolerance,
                      no_wall=args.no_wall)
         print(render_diff(name, rows))
+        if drift is not None:
+            print(render_instrument_drift(drift))
         if any(verdict == "FAIL" for *_, verdict in rows):
             failed = True
 

@@ -80,13 +80,22 @@ def run() -> None:
     assert not failures, f"default SLOs violated: {failures}"
     assert snap["slo"]["pass"], "snapshot SLO section disagrees"
 
+    audit = snap["audit"]
+    assert audit["checks"] > 0, "conservation audit ran no checks"
+    assert audit["ok"], \
+        f"conservation violations in the quickstart: {audit['violations']}"
+    wd = snap["watchdog"]
+    assert wd["enabled"], "watchdog is off in the quickstart"
+    assert not wd["alerts"], f"watchdog alerts on a clean run: {wd['alerts']}"
+
     payload = json.dumps(snap)
     print(f"smoke ok: {events} events, {len(delay_hists)} VC delay "
           f"histograms, cross-site trace {trace_id} "
           f"({len(mits.sim.tracer.by_trace(trace_id))} spans), "
           f"{ts['samples']} telemetry samples over {len(ts['series'])} "
           f"series, {sum(1 for r in results if not r.skipped)} SLOs "
-          f"judged, snapshot {len(payload)} bytes")
+          f"judged, {audit['checks']} conservation checks clean, "
+          f"snapshot {len(payload)} bytes")
 
 
 if __name__ == "__main__":

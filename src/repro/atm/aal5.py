@@ -139,22 +139,41 @@ class Aal5Receiver:
         self.pdus_delivered = 0
         self.pdus_corrupted = 0
         self.cells_received = 0
+        #: cell conservation: every received cell either ends up in a
+        #: delivered PDU, is discarded with a corrupt/runaway frame,
+        #: or still sits in the partial-frame buffer
+        self.cells_delivered = 0
+        self.cells_discarded = 0
+
+    @property
+    def cells_buffered(self) -> int:
+        return len(self._buffer)
+
+    def conserves(self) -> bool:
+        """bytes in == PDU bytes out + discarded (in 48-octet cells)."""
+        return self.cells_received == (self.cells_delivered
+                                       + self.cells_discarded
+                                       + len(self._buffer))
 
     def receive(self, cell: Cell) -> None:
         self.cells_received += 1
         self._buffer.append(cell.payload)
         if len(self._buffer) > self.MAX_FRAME_CELLS:
             # runaway partial frame: drop it (equivalent to a timeout)
+            self.cells_discarded += len(self._buffer)
             self._buffer.clear()
             self.pdus_corrupted += 1
             return
         if cell.header.is_last_of_frame:
+            ncells = len(self._buffer)
             pdu = b"".join(self._buffer)
             self._buffer.clear()
             try:
                 payload = parse_cpcs_pdu(pdu)
             except DecodingError:
+                self.cells_discarded += ncells
                 self.pdus_corrupted += 1
                 return
+            self.cells_delivered += ncells
             self.pdus_delivered += 1
             self._on_pdu(payload, cell)

@@ -31,6 +31,27 @@ class LinkStats:
     dropped_errors: int = 0
     dropped_down: int = 0
     busy_time: float = 0.0
+    #: subset of dropped_overflow: buffered cells displaced by a
+    #: higher-priority arrival (the arrival itself was accepted)
+    dropped_shed: int = 0
+    #: subset of dropped_down: cells lost mid-flight when the link
+    #: went down during their serialization (vs. dropped on arrival)
+    dropped_down_wire: int = 0
+    #: transmitted cells handed to the sink (scheduled for delivery)
+    delivered: int = 0
+    #: transmitted cells with no sink attached to receive them
+    dropped_no_sink: int = 0
+
+    def conserves_buffer(self, queued: int, in_service: int) -> bool:
+        """Every accepted cell is transmitted, shed, queued, or in service."""
+        return self.enqueued == (self.transmitted + self.dropped_shed
+                                 + queued + in_service)
+
+    def conserves_wire(self) -> bool:
+        """Every transmitted cell is delivered or accounted as lost."""
+        return self.transmitted == (self.delivered + self.dropped_errors
+                                    + self.dropped_down_wire
+                                    + self.dropped_no_sink)
 
 
 class Link:
@@ -72,7 +93,9 @@ class Link:
         self._jitter = 0.0
         self._jitter_rng: Optional[random.Random] = None
         self.sink: Optional[Callable[[Cell], None]] = None
-        self._queues: List[Deque[Tuple[Cell, ServiceCategory]]] = [
+        #: per-category FIFO of (cell, category, enqueue_time); the
+        #: timestamp feeds queue-residency accounting in the ledger
+        self._queues: List[Deque[Tuple[Cell, ServiceCategory, float]]] = [
             deque() for _ in ServiceCategory
         ]
         self._queued = 0
@@ -89,6 +112,7 @@ class Link:
         self._m_occupancy = metrics.gauge("link", "queue_occupancy", link=label)
         self._metrics = metrics
         self._label = label
+        self.acct = sim.ledger.account("link", label)
 
     @property
     def error_rate(self) -> float:
@@ -157,6 +181,11 @@ class Link:
     def queue_length(self) -> int:
         return self._queued
 
+    @property
+    def in_service(self) -> int:
+        """1 while a cell is being serialized on the transmitter."""
+        return 1 if self._busy else 0
+
     def enqueue(self, cell: Cell, category: ServiceCategory = ServiceCategory.UBR) -> bool:
         """Offer a cell for transmission.  Returns False when dropped.
 
@@ -173,7 +202,7 @@ class Link:
                 self.stats.dropped_overflow += 1
                 self._count_drop("overflow", category.name)
                 return False
-        self._queues[category].append((cell, category))
+        self._queues[category].append((cell, category, self.sim.now))
         self._queued += 1
         self.stats.enqueued += 1
         self._m_enqueued.inc()
@@ -183,6 +212,7 @@ class Link:
         return True
 
     def _count_drop(self, reason: str, category: str) -> None:
+        self.acct.drop()
         self._m_drops.inc()
         self._metrics.counter("link", "drops", link=self._label,
                               reason=reason, category=category).inc()
@@ -200,7 +230,7 @@ class Link:
             q = self._queues[cat]
             if q:
                 # prefer a tagged cell if one is buffered
-                for i, (c, _) in enumerate(q):
+                for i, (c, _, _t) in enumerate(q):
                     if c.header.clp == 1:
                         del q[i]
                         break
@@ -208,6 +238,7 @@ class Link:
                     q.pop()
                 self._queued -= 1
                 self.stats.dropped_overflow += 1
+                self.stats.dropped_shed += 1
                 self._count_drop("shed", cat.name)
                 self._m_occupancy.set(self._queued)
                 return True
@@ -219,8 +250,9 @@ class Link:
             return
         for q in self._queues:
             if q:
-                cell, _cat = q.popleft()
+                cell, _cat, enq_time = q.popleft()
                 self._queued -= 1
+                self.acct.dwell(self.sim.now - enq_time)
                 self._m_occupancy.set(self._queued)
                 break
         else:
@@ -237,16 +269,21 @@ class Link:
         if self._down:
             # went down mid-transmission: the cell is lost on the wire
             self.stats.dropped_down += 1
+            self.stats.dropped_down_wire += 1
             self._count_drop("link_down", "any")
         elif self._error_rng is not None and \
                 self._error_rng.random() < self._error_rate:
             self.stats.dropped_errors += 1
             self._count_drop("error", "any")
         elif self.sink is not None:
+            self.stats.delivered += 1
             delay = self.prop_delay
             if self._jitter_rng is not None:
                 delay += self._jitter_rng.uniform(0.0, self._jitter)
             self.sim.schedule(delay, self.sink, cell)
+        else:
+            self.stats.dropped_no_sink += 1
+            self._count_drop("no_sink", "any")
         self._start_transmission()
 
     def utilization(self) -> float:

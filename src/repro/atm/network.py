@@ -19,8 +19,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
-from repro.atm.aal5 import Aal5Receiver, Aal5Sender
-from repro.atm.cell import Cell
+from repro.atm.aal5 import Aal5Receiver, Aal5Sender, TRAILER_SIZE
+from repro.atm.cell import Cell, PAYLOAD_SIZE
 from repro.atm.link import Link
 from repro.atm.qos import (
     LeakyBucketShaper,
@@ -79,6 +79,7 @@ class VirtualCircuit:
                                             vc=vc_id, route=route)
         self._m_pdus_delivered = metrics.counter("vc", "pdus_delivered",
                                                  vc=vc_id, route=route)
+        self.acct = src.sim.ledger.account("vc", str(vc_id), note=route)
 
     def send(self, payload: bytes) -> None:
         """Segment *payload* and inject its cells, paced by the shaper."""
@@ -98,6 +99,12 @@ class Host:
         # receive side: vci -> (reassembler, handler, vc)
         self._rx: Dict[int, Tuple[Aal5Receiver, Callable, VirtualCircuit]] = {}
         self._send_times: Dict[Tuple[int, int], float] = {}
+        self.acct = sim.ledger.account("site", name)
+        #: cells that arrived for a VCI with no receive binding (the
+        #: VC was closed, or the label was never ours)
+        self.unbound_cells = 0
+        self._m_unbound = sim.metrics.counter("host", "cells_unbound",
+                                              host=name)
 
     def _transmit(self, vc: VirtualCircuit, payload: bytes) -> None:
         now = self.sim.now
@@ -105,6 +112,8 @@ class Host:
         vc.stats.pdus_sent += 1
         vc.stats.bytes_sent += len(payload)
         vc._m_pdus_sent.inc()
+        vc.acct.sent(units=1, cells=len(cells), nbytes=len(payload))
+        self.acct.sent(units=1, cells=len(cells), nbytes=len(payload))
         # bound the in-flight map: a PDU whose last cell is dropped
         # never gets popped on delivery, so on lossy links the oldest
         # entries must be evicted (their delay is reported as NaN)
@@ -127,6 +136,10 @@ class Host:
             vc.stats.bytes_delivered += len(payload)
             vc.stats.delays.append(delay)
             vc._m_pdus_delivered.inc()
+            ncells = (len(payload) + TRAILER_SIZE + PAYLOAD_SIZE - 1) \
+                // PAYLOAD_SIZE
+            vc.acct.delivered(units=1, cells=ncells, nbytes=len(payload))
+            self.acct.delivered(units=1, cells=ncells, nbytes=len(payload))
             vc.delay_hist.observe(delay)  # NaN (evicted send time) ignored
             handler(payload, DeliveryInfo(vc=vc, delay=delay,
                                           delivered_at=self.sim.now,
@@ -137,7 +150,10 @@ class Host:
         """Entry point wired as the sink of the host's downlink."""
         entry = self._rx.get(cell.header.vci)
         if entry is None:
-            return  # cell for a closed/unknown VC
+            # cell for a closed/unknown VC
+            self.unbound_cells += 1
+            self._m_unbound.inc()
+            return
         entry[0].receive(cell)
 
 

@@ -19,6 +19,7 @@ import time as _time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro.obs.accounting import Ledger
 from repro.obs.events import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer
@@ -48,6 +49,7 @@ class Simulator:
     def __init__(self, *, metrics: Optional[MetricsRegistry] = None,
                  tracer: Optional[Tracer] = None,
                  recorder: Optional[FlightRecorder] = None,
+                 ledger: Optional[Ledger] = None,
                  profile_callbacks: bool = False) -> None:
         self._queue: list[Event] = []
         self._seq = itertools.count()
@@ -60,6 +62,12 @@ class Simulator:
             Tracer(clock=lambda: self._now)
         self.recorder = recorder if recorder is not None else \
             FlightRecorder(clock=lambda: self._now)
+        #: per-entity accounting; disabled by default so the hot-path
+        #: hooks hit the shared NULL_ACCOUNT (see obs/accounting)
+        self.ledger = ledger if ledger is not None else Ledger(enabled=False)
+        #: stateful endpoints (connections, players, ...) register here
+        #: so the ConservationAuditor can find them without a topology
+        self.entities: dict[str, list] = {}
         #: when True, each callback's wall-clock cost is histogrammed
         #: by callsite (the callback's qualified name) — costs a
         #: perf_counter pair per event, so off by default
@@ -70,6 +78,10 @@ class Simulator:
         self._m_events = self.metrics.counter("simulator", "events_run")
         self._m_scheduled = self.metrics.counter("simulator", "events_scheduled")
         self._m_depth = self.metrics.gauge("simulator", "queue_depth")
+
+    def register_entity(self, kind: str, obj: Any) -> None:
+        """Expose *obj* (a connection, player, ...) to the auditor."""
+        self.entities.setdefault(kind, []).append(obj)
 
     @property
     def now(self) -> float:

@@ -40,6 +40,17 @@ class SwitchStats:
     policed_dropped: int = 0
     policed_tagged: int = 0
     crash_dropped: int = 0
+    #: every cell handed to receive(), before any fate is decided
+    received: int = 0
+    #: switched cells that completed the fabric traversal and reached
+    #: an output buffer (switched - emitted cells are in the fabric)
+    emitted: int = 0
+
+    def conserves(self, in_fabric: int) -> bool:
+        """Every received cell is dropped, emitted, or in the fabric."""
+        return self.received == (self.crash_dropped + self.unroutable
+                                 + self.policed_dropped + self.emitted
+                                 + in_fabric)
 
 
 class Switch:
@@ -55,7 +66,11 @@ class Switch:
         #: (the VC table survives the crash — restart is silent)
         self._crashed = False
         self.stats = SwitchStats()
+        #: cells scheduled through the fabric but not yet emitted
+        self._in_fabric = 0
         metrics = sim.metrics
+        self._m_received = metrics.counter("switch", "cells_received",
+                                           switch=name)
         self._m_switched = metrics.counter("switch", "cells_switched",
                                            switch=name)
         self._m_unroutable = metrics.counter("switch", "cells_unroutable",
@@ -100,6 +115,12 @@ class Switch:
     def crashed(self) -> bool:
         return self._crashed
 
+    @property
+    def in_fabric(self) -> int:
+        """Cells currently traversing the fabric (switched, not yet
+        at an output buffer)."""
+        return self._in_fabric
+
     def set_crashed(self, crashed: bool) -> None:
         """Crash (or restart) the switch — driven by fault injection.
 
@@ -110,6 +131,8 @@ class Switch:
 
     def receive(self, cell: Cell, in_port: str) -> None:
         """Cell arrival from the upstream link on *in_port*."""
+        self.stats.received += 1
+        self._m_received.inc()
         if self._crashed:
             self.stats.crash_dropped += 1
             self._m_crash_dropped.inc()
@@ -118,6 +141,10 @@ class Switch:
         if entry is None:
             self.stats.unroutable += 1
             self._m_unroutable.inc()
+            self.sim.recorder.record(
+                "atm", "unroutable_cell", severity="warning",
+                switch=self.name, in_port=in_port,
+                vpi=cell.header.vpi, vci=cell.header.vci)
             return
         if entry.upc is not None:
             verdict = entry.upc.police(self.sim.now)
@@ -140,7 +167,10 @@ class Switch:
         self._m_switched.inc()
         # model the fabric traversal as a fixed delay before the cell
         # reaches the output buffer
+        self._in_fabric += 1
         self.sim.schedule(self.switching_delay, self._emit, out, entry)
 
     def _emit(self, cell: Cell, entry: VcTableEntry) -> None:
+        self._in_fabric -= 1
+        self.stats.emitted += 1
         self._out_links[entry.out_port].enqueue(cell, entry.category)

@@ -21,9 +21,12 @@ from repro.core.sites import (
 from repro.database.api import wait_for
 from repro.faults.recovery import RecoveryPolicy
 from repro.media.base import MediaObject
+from repro.obs.accounting import Ledger
+from repro.obs.audit import ConservationAuditor
 from repro.obs.profiler import LoopProfiler
 from repro.obs.slo import SloMonitor
 from repro.obs.timeseries import TelemetrySampler
+from repro.obs.watchdog import Watchdog
 from repro.util.errors import NetworkError
 
 
@@ -36,8 +39,12 @@ class MitsSystem:
                  telemetry_interval: Optional[float] = 0.25,
                  telemetry_capacity: int = 512,
                  profile: bool = False,
+                 accounting: bool = False,
+                 watchdog: bool = True,
                  recovery: Optional[RecoveryPolicy] = None) -> None:
-        self.sim = Simulator()
+        #: per-entity accounting: opt-in — the disabled ledger hands
+        #: out a shared no-op account, so clean runs pay nothing
+        self.sim = Simulator(ledger=Ledger(enabled=accounting))
         self.sim.tracer.enabled = tracing
         self.slos = SloMonitor()
         self.seed = seed
@@ -70,6 +77,13 @@ class MitsSystem:
                 self.sim, extra_users=extra_users, access_bps=access_bps)
         else:
             raise NetworkError(f"unknown topology {topology!r}")
+
+        #: anomaly watchdog: evaluates detectors on the telemetry tick;
+        #: needs the sampler, so it is silently off without telemetry
+        self.watchdog: Optional[Watchdog] = None
+        if watchdog and self.sampler is not None:
+            self.watchdog = Watchdog(self.sim, network=self.network)
+            self.watchdog.attach(self.sampler)
 
         self.database = DatabaseSite(self.sim, self.network, "database",
                                      recovery=self.recovery)
@@ -151,6 +165,7 @@ class MitsSystem:
         tracer = self.sim.tracer
         if self.sampler is not None:
             self.sampler.sample()  # flush a final point at `now`
+        alerts = self.watchdog.alerts if self.watchdog is not None else None
         return {
             "topology": self.spec.name,
             "switches": list(self.spec.switches),
@@ -165,7 +180,12 @@ class MitsSystem:
             "events_run": self.sim.events_run,
             "sim_time": self.sim.now,
             "metrics": metrics_report,
-            "slo": self.slos.summary(metrics_report),
+            "slo": self.slos.summary(metrics_report,
+                                     watchdog_alerts=alerts),
+            "audit": ConservationAuditor(self).report(),
+            "accounting": self.sim.ledger.snapshot(sim_time=self.sim.now),
+            "watchdog": self.watchdog.snapshot()
+            if self.watchdog is not None else {"enabled": False},
             "events": self.sim.recorder.snapshot(),
             "trace": {
                 "enabled": tracer.enabled,

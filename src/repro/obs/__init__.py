@@ -12,6 +12,14 @@ into pass/fail verdicts, and ``python -m repro.obs`` renders dumps
 into waterfalls, sparkline dashboards, and tables.
 """
 
+from repro.obs.accounting import (
+    Account,
+    Ledger,
+    NULL_ACCOUNT,
+    load_accounting_file,
+    render_top,
+)
+from repro.obs.audit import ConservationAuditor, Violation
 from repro.obs.events import SEVERITIES, FlightEvent, FlightRecorder
 from repro.obs.metrics import (
     Counter,
@@ -33,10 +41,21 @@ from repro.obs.tracing import (
     TraceContext,
     Tracer,
 )
+from repro.obs.watchdog import DEFAULT_DETECTORS, Detector, Watchdog
 
 __all__ = [
+    "Account",
     "CallsiteStats",
+    "ConservationAuditor",
     "Counter",
+    "DEFAULT_DETECTORS",
+    "Detector",
+    "Ledger",
+    "NULL_ACCOUNT",
+    "Violation",
+    "Watchdog",
+    "load_accounting_file",
+    "render_top",
     "LoopProfiler",
     "Series",
     "TelemetrySampler",

@@ -21,6 +21,18 @@ Subcommands::
         a named scenario (see ``repro.core.scenarios``) and renders it
         — one-shot at the horizon, or as a refresh loop with
         ``--follow``.
+
+    top [accounting.json] [--live SCENARIO] [--sort COL] [--kind K]
+        Per-entity accounting tables (per VC, site, stream, link,
+        trace): cells, bytes, drops, queue residency, bandwidth share.
+        Reads an archived ``accounting_<scenario>.json`` sidecar, or
+        with ``--live`` runs a named scenario with the ledger enabled.
+
+    audit SCENARIO [--faults PLAN] [--out-dir DIR]
+        Run a named scenario with accounting enabled, then cross-check
+        every live counter against the flow-conservation invariants.
+        Prints violations (exit 1 when any) and optionally dumps the
+        full sidecar set for the run.
 """
 
 from __future__ import annotations
@@ -29,6 +41,11 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.obs.accounting import (
+    SORT_COLUMNS,
+    load_accounting_file,
+    render_top,
+)
 from repro.obs.dashboard import (
     load_timeseries_file,
     render_dashboard,
@@ -144,6 +161,54 @@ def _health(mits) -> dict:
     return telemetry_health(mits)
 
 
+def _top(args: argparse.Namespace) -> int:
+    if args.accounting is None and args.live is None:
+        print("top: give an accounting_*.json path or --live <scenario>",
+              file=sys.stderr)
+        return 2
+    if args.accounting is not None:
+        payload = load_accounting_file(args.accounting)
+        print(render_top(payload, kind=args.kind, sort=args.sort,
+                         limit=args.limit,
+                         title=payload.get("name") or args.accounting))
+        return 0
+    # imported lazily: repro.core pulls in the whole stack, which the
+    # archived-file path of this CLI doesn't need
+    from repro.core.scenarios import build
+
+    run = build(args.live, accounting=True,
+                faults=args.faults, fault_seed=args.fault_seed)
+    run.run_to_horizon()
+    sim = run.mits.sim
+    payload = sim.ledger.snapshot(sim_time=sim.now)
+    print(render_top(payload, kind=args.kind, sort=args.sort,
+                     limit=args.limit,
+                     title=f"{run.name} @ t={sim.now:.1f}s"))
+    return 0
+
+
+def _audit(args: argparse.Namespace) -> int:
+    from repro.core.scenarios import build
+    from repro.obs.audit import ConservationAuditor
+
+    run = build(args.scenario, accounting=True,
+                faults=args.faults, fault_seed=args.fault_seed)
+    run.run_to_horizon()
+    auditor = ConservationAuditor(run.mits)
+    violations = auditor.check()
+    print(f"== audit: {run.name} @ t={run.mits.sim.now:.1f}s ==")
+    print(f"  {auditor.checks} invariant checks, "
+          f"{len(violations)} violations")
+    for v in violations:
+        print(f"  VIOLATION {v}")
+    if args.out_dir:
+        from repro.obs.export import dump_observability
+        for path in dump_observability(run.mits, f"audit_{args.scenario}",
+                                       args.out_dir):
+            print(f"  wrote {path}")
+    return 1 if violations else 0
+
+
 def _profile_cmd(args: argparse.Namespace) -> int:
     """Render the profile block embedded in a metrics/timeseries dump."""
     meta, _ = load_metrics_file(args.metrics)
@@ -207,6 +272,36 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_dash.add_argument("--fault-seed", type=int, default=None,
                         help="override the fault plan's seed")
     p_dash.set_defaults(func=_dashboard)
+
+    p_top = sub.add_parser(
+        "top", help="per-entity accounting tables (VCs, sites, streams)")
+    p_top.add_argument("accounting", nargs="?",
+                       help="accounting_<scenario>.json (archived mode)")
+    p_top.add_argument("--live", metavar="SCENARIO",
+                       help="run a named scenario with the ledger "
+                       "enabled and render its attribution")
+    p_top.add_argument("--sort", choices=SORT_COLUMNS, default="bytes",
+                       help="column to sort by (default: bytes)")
+    p_top.add_argument("--kind", default=None,
+                       help="show one entity kind only "
+                       "(vc/site/stream/link/trace)")
+    p_top.add_argument("--limit", type=int, default=20,
+                       help="rows per table")
+    p_top.add_argument("--faults", metavar="PLAN",
+                       help="arm a named fault plan on the live scenario")
+    p_top.add_argument("--fault-seed", type=int, default=None)
+    p_top.set_defaults(func=_top)
+
+    p_audit = sub.add_parser(
+        "audit", help="run a scenario and check conservation invariants")
+    p_audit.add_argument("scenario",
+                         help="scenario name (see repro.core.scenarios)")
+    p_audit.add_argument("--faults", metavar="PLAN",
+                         help="arm a named fault plan before auditing")
+    p_audit.add_argument("--fault-seed", type=int, default=None)
+    p_audit.add_argument("--out-dir", default=None,
+                         help="also dump the full sidecar set here")
+    p_audit.set_defaults(func=_audit)
 
     p_prof = sub.add_parser(
         "profile", help="profiler top-N from an archived dump")

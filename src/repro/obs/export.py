@@ -12,6 +12,12 @@ reads back:
   per line, tagged ``"record": "span" | "event"``;
 * ``timeseries_<name>.json`` — the sampler's ring-buffered series,
   for the dashboard.
+
+When the deployment's ledger is enabled a fourth sidecar,
+``accounting_<name>.json``, carries the per-entity attribution for
+``python -m repro.obs top``; the metrics sidecar also embeds the
+conservation-audit verdict so archived runs prove their counters
+balanced.
 """
 
 from __future__ import annotations
@@ -19,6 +25,8 @@ from __future__ import annotations
 import json
 import os
 from typing import Any, Dict, List, Optional
+
+from repro.obs.audit import ConservationAuditor
 
 __all__ = ["dump_observability", "telemetry_health"]
 
@@ -50,6 +58,7 @@ def dump_observability(mits, name: str, out_dir: str,
     written: List[str] = []
     sim = mits.sim
     metrics_report = sim.metrics.report()
+    watchdog = getattr(mits, "watchdog", None)
 
     metrics_path = os.path.join(out_dir, f"metrics_{name}.json")
     dump: Dict[str, Any] = {
@@ -57,9 +66,15 @@ def dump_observability(mits, name: str, out_dir: str,
         "sim_time": sim.now,
         "events_run": sim.events_run,
         "metrics": metrics_report,
-        "slo": mits.slos.summary(metrics_report),
+        "slo": mits.slos.summary(
+            metrics_report,
+            watchdog_alerts=watchdog.alerts
+            if watchdog is not None else None),
+        "audit": ConservationAuditor(mits).report(),
         "telemetry": telemetry_health(mits),
     }
+    if watchdog is not None:
+        dump["watchdog"] = watchdog.snapshot()
     if profile is not None:
         dump["profile"] = profile
     with open(metrics_path, "w") as fh:
@@ -84,4 +99,13 @@ def dump_observability(mits, name: str, out_dir: str,
             json.dump({"name": name, **sampler.snapshot()}, fh,
                       indent=2, sort_keys=True)
         written.append(ts_path)
+
+    ledger = getattr(sim, "ledger", None)
+    if ledger is not None and ledger.enabled:
+        acct_path = os.path.join(out_dir, f"accounting_{name}.json")
+        with open(acct_path, "w") as fh:
+            json.dump({"name": name, "sim_time": sim.now,
+                       **ledger.snapshot(sim_time=sim.now)}, fh,
+                      indent=2, sort_keys=True)
+        written.append(acct_path)
     return written

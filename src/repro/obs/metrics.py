@@ -286,3 +286,43 @@ class MetricsRegistry:
 
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.report(), indent=indent, sort_keys=True)
+
+    @staticmethod
+    def delta(before: Mapping[str, Any],
+              after: Mapping[str, Any]) -> Dict[str, Dict[str, Any]]:
+        """Per-instrument diff of two :meth:`report` dumps.
+
+        Returns ``{"component.name{label=v,...}": {"kind", "before",
+        "after", "delta"}}``; counters and gauges diff their ``value``,
+        histograms their ``count``.  Instruments present on only one
+        side diff against zero and carry ``"only": "before"|"after"``.
+        """
+
+        def flatten(report: Mapping[str, Any]) -> Dict[str, Tuple[str, float]]:
+            flat: Dict[str, Tuple[str, float]] = {}
+            for component, names in report.items():
+                for name, entries in names.items():
+                    for e in entries:
+                        labels = ",".join(f"{k}={v}" for k, v in
+                                          sorted(e.get("labels", {}).items()))
+                        key = f"{component}.{name}{{{labels}}}"
+                        kind = e.get("type", "counter")
+                        val = e.get("count" if kind == "histogram"
+                                    else "value", 0) or 0
+                        flat[key] = (kind, float(val))
+            return flat
+
+        b, a = flatten(before), flatten(after)
+        out: Dict[str, Dict[str, Any]] = {}
+        for key in sorted(set(b) | set(a)):
+            kind = (a.get(key) or b.get(key))[0]
+            bv = b.get(key, (kind, 0.0))[1]
+            av = a.get(key, (kind, 0.0))[1]
+            row: Dict[str, Any] = {"kind": kind, "before": bv, "after": av,
+                                   "delta": av - bv}
+            if key not in b:
+                row["only"] = "after"
+            elif key not in a:
+                row["only"] = "before"
+            out[key] = row
+        return out

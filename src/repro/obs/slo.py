@@ -136,25 +136,33 @@ class SloMonitor:
     def evaluate_registry(self, registry: Any) -> List[SloResult]:
         return self.evaluate(registry.report())
 
-    def summary(self, report: Mapping[str, Any]) -> Dict[str, Any]:
+    def summary(self, report: Mapping[str, Any], *,
+                watchdog_alerts: Optional[Sequence[Mapping[str, Any]]] = None
+                ) -> Dict[str, Any]:
         """JSON-stable pass/fail summary for snapshots and dumps.
 
         ``verdict`` is three-valued: ``"failed"`` when an SLO is
         violated, ``"degraded"`` when all SLOs hold but recovery
         machinery fired (see :data:`DEGRADATION_METRICS`), ``"ok"``
-        for a clean run.
+        for a clean run.  Watchdog alerts (see
+        :class:`~repro.obs.watchdog.Watchdog`) also demote an ``"ok"``
+        run to ``"degraded"`` — an anomaly detector firing means the
+        session was not clean, even if every SLO held.
         """
         results = self.evaluate(report)
         passed = all(r.ok for r in results)
         degradations = self.degradations(report)
         verdict = "failed" if not passed \
-            else ("degraded" if degradations else "ok")
-        return {
+            else ("degraded" if degradations or watchdog_alerts else "ok")
+        out = {
             "pass": passed,
             "verdict": verdict,
             "degradations": degradations,
             "results": [r.to_dict() for r in results],
         }
+        if watchdog_alerts is not None:
+            out["watchdog_alerts"] = len(watchdog_alerts)
+        return out
 
     @staticmethod
     def degradations(report: Mapping[str, Any]) -> Dict[str, float]:

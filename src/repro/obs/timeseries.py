@@ -172,6 +172,13 @@ class TelemetrySampler:
         self._series: Dict[Tuple[str, str, LabelKey], Series] = {}
         self._dormant = False
         self._tick_event = None
+        #: callables invoked with the sample time after each sample —
+        #: the watchdog's evaluation hook (see obs/watchdog)
+        self._listeners: List[Any] = []
+
+    def add_listener(self, fn) -> None:
+        """Call ``fn(now)`` after every sample (watchdog hook)."""
+        self._listeners.append(fn)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -245,8 +252,10 @@ class TelemetrySampler:
                 series.record(now, inst.value)
             elif kind == "gauge":
                 series.record(now, inst.value)
-            else:  # histogram
+            else:  # histogram (empty histograms report p99 = 0.0)
                 series.record(now, inst.count, p99=inst.quantile(0.99))
+        for fn in list(self._listeners):
+            fn(now)
 
     # -- access / export ---------------------------------------------------
 

@@ -40,10 +40,26 @@ class PlayoutStats:
     #: most recent per-frame network delay samples (bounded)
     delays: Deque[float] = field(
         default_factory=lambda: deque(maxlen=DELAY_SAMPLE_CAP))
+    #: net-new frames accepted into the playout buffer
+    frames_received: int = 0
+    #: late arrivals dropped because playout already moved past them
+    frames_stale: int = 0
+    #: arrivals for an index already buffered (counted, overwritten)
+    frames_duplicate: int = 0
 
     @property
     def stall_free(self) -> bool:
         return self.stalls == 0 and self.frames_skipped == 0
+
+    def conserves_cursor(self, next_frame: int) -> bool:
+        """The playout cursor only moves by playing, concealing, or
+        skipping exactly one frame at a time."""
+        return next_frame == (self.frames_played + self.frames_skipped
+                              + self.frames_concealed)
+
+    def conserves_buffer(self, buffered: int) -> bool:
+        """Every accepted frame is eventually played or still buffered."""
+        return self.frames_received == self.frames_played + buffered
 
 
 class VideoPlayer:
@@ -96,6 +112,8 @@ class VideoPlayer:
         self._clock_offset: Optional[float] = None
         self._last_index: Optional[int] = None
         self.finished = False
+        self.acct = sim.ledger.account("stream", name)
+        sim.register_entity("player", self)
 
     # -- network entry point ----------------------------------------------
 
@@ -104,9 +122,15 @@ class VideoPlayer:
         if self._play_started is not None and index < self._next_frame:
             # stale: the playout point moved past this frame (skipped
             # or concealed while it was delayed) — never buffer it
+            self.stats.frames_stale += 1
             if last:
                 self._last_index = index
             return
+        if index in self._buffer:
+            self.stats.frames_duplicate += 1
+        else:
+            self.stats.frames_received += 1
+            self.acct.delivered(units=1, nbytes=len(_frame))
         self._buffer[index] = timestamp
         self._arrival[index] = self.sim.now
         self._timestamps[index] = timestamp

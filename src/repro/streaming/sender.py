@@ -61,6 +61,8 @@ class VideoStreamSender:
                                             stream=label)
         self._m_degrade = sim.metrics.counter("streaming", "degradations",
                                               stream=label)
+        self.acct = sim.ledger.account(
+            "stream", label, note=f"{vc.src.name}->{vc.dst.name}")
 
     @property
     def mean_bitrate_bps(self) -> float:
@@ -110,6 +112,7 @@ class VideoStreamSender:
         self.bytes_sent += len(frame)
         self._m_frames.inc()
         self._m_bytes.inc(len(frame))
+        self.acct.sent(units=1, nbytes=len(frame))
         if last:
             self.finished = True
             self._span.set(bytes=self.bytes_sent)

@@ -46,6 +46,10 @@ class ConnectionStats:
     failed: int = 0
     send_failures: int = 0
     reconnects: int = 0
+    #: sequence numbers cumulatively acked by the peer
+    acked: int = 0
+    #: backlog + in-flight messages discarded when close() ran
+    flushed: int = 0
 
 
 class Connection:
@@ -101,8 +105,20 @@ class Connection:
                                        conn=label)
         self._m_reconnects = metrics.counter("connection", "reconnects",
                                              conn=label)
+        self._label = label
+        sim.register_entity("connection", self)
         # wire receive side: the caller must route incoming AAL5 PDUs
         # (for the VC underlying this endpoint) to handle_pdu.
+
+    def conserves(self) -> bool:
+        """sent == acked + in-flight + retransmit-pending (+ flushed).
+
+        Every sequence number ever assigned is either cumulatively
+        acked, still in flight, waiting in the backlog for window
+        space, or was flushed by close().
+        """
+        return self._next_seq == (self.stats.acked + len(self._in_flight)
+                                  + len(self._backlog) + self.stats.flushed)
 
     # -- sending ---------------------------------------------------------
 
@@ -145,7 +161,11 @@ class Connection:
         self._retries.setdefault(msg.seq, 0)
         self._sent_at[msg.seq] = self.sim.now
         self._m_window.set(len(self._in_flight))
-        self._raw_send(msg.encode())
+        data = msg.encode()
+        if msg.trace_id:
+            self.sim.ledger.account("trace", f"t{msg.trace_id:x}").sent(
+                units=1, nbytes=len(data))
+        self._raw_send(data)
         self.stats.sent += 1
         self._arm_timer()
 
@@ -270,6 +290,7 @@ class Connection:
         advanced = False
         for seq in [s for s in self._in_flight if s < ack]:
             del self._in_flight[seq]
+            self.stats.acked += 1
             self._retries.pop(seq, None)
             sent_at = self._sent_at.pop(seq, None)
             if sent_at is not None:
@@ -297,6 +318,9 @@ class Connection:
                           trace_id=msg.trace_id, span_id=msg.span_id,
                           body=b"".join(self._reassembly))
             self._reassembly = []
+        if msg.trace_id:
+            self.sim.ledger.account("trace", f"t{msg.trace_id:x}").delivered(
+                units=1, nbytes=len(msg.body))
         if self.on_message is not None:
             self.on_message(msg)
 
@@ -312,6 +336,7 @@ class Connection:
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
+        self.stats.flushed += len(self._backlog) + len(self._in_flight)
         self._backlog.clear()
         self._in_flight.clear()
         self._retries.clear()

@@ -193,3 +193,75 @@ class TestSwitch:
         sw.receive(make_cell(vci=32), "west")
         sim.run()
         assert delivered == []
+
+
+class TestUnroutableObservability:
+    """An unroutable cell must be counted AND leave a flight-recorder
+    event naming the label that had no route (regression: the drop
+    used to be a bare counter bump, invisible in trace dumps)."""
+
+    def test_unroutable_records_event_with_labels(self):
+        sim = Simulator()
+        sw = Switch(sim, "sw", switching_delay=0.0)
+        sw.receive(make_cell(vci=99), "west")
+        sim.run()
+        assert sw.stats.unroutable == 1
+        events = sim.recorder.by_kind("unroutable_cell")
+        assert len(events) == 1
+        event = events[0]
+        assert event.severity == "warning"
+        assert event.attrs["switch"] == "sw"
+        assert event.attrs["in_port"] == "west"
+        assert event.attrs["vpi"] == 0
+        assert event.attrs["vci"] == 99
+
+    def test_unroutable_counter_mirrors_stats(self):
+        sim = Simulator()
+        sw = Switch(sim, "sw", switching_delay=0.0)
+        for vci in (99, 100, 101):
+            sw.receive(make_cell(vci=vci), "west")
+        sim.run()
+        assert sw.stats.unroutable == 3
+        assert sw._m_unroutable.value == 3
+        assert sw._m_received.value == 3
+
+
+class TestConservationCounters:
+    """The sub-counters the conservation audit balances against."""
+
+    def test_link_buffer_and_wire_conservation(self):
+        sim = Simulator()
+        delivered = []
+        link = Link(sim, rate_bps=424e3, prop_delay=0.0)
+        link.sink = delivered.append
+        for i in range(4):
+            link.enqueue(make_cell(seqno=i))
+        # mid-flight the books must still balance (in_service term)
+        assert link.stats.conserves_buffer(link.queue_length,
+                                           link.in_service)
+        sim.run()
+        assert len(delivered) == 4
+        assert link.stats.delivered == 4
+        assert link.stats.conserves_buffer(link.queue_length,
+                                           link.in_service)
+        assert link.stats.conserves_wire()
+
+    def test_unsinked_link_counts_no_sink_drops(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=424e3, prop_delay=0.0)
+        link.enqueue(make_cell())
+        sim.run()
+        assert link.stats.dropped_no_sink == 1
+        assert link.stats.conserves_wire()
+
+    def test_switch_receive_conservation(self):
+        sim = Simulator()
+        sw, delivered = TestSwitch()._wired(sim)
+        sw.install_route("west", 0, 32, VcTableEntry("east", 0, 77))
+        sw.receive(make_cell(vci=32), "west")
+        sw.receive(make_cell(vci=99), "west")  # unroutable
+        sim.run()
+        assert len(delivered) == 1
+        assert sw.stats.received == 2
+        assert sw.stats.emitted == 1
+        assert sw.stats.conserves(sw.in_fabric)

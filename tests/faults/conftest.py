@@ -16,6 +16,7 @@ import pytest
 from repro.core.scenarios import _enroll, _publish_course, _stream_video
 from repro.core.system import MitsSystem
 from repro.faults import FaultInjector, FaultPlan, RESILIENT, RecoveryPolicy
+from repro.obs.audit import ConservationAuditor
 from repro.streaming import VideoPlayer
 
 #: the default chaos seed; CI exports CHAOS_SEED so a failure log
@@ -41,6 +42,10 @@ class ChaosRun:
         return sum(e["value"]
                    for e in report.get(component, {}).get(name, []))
 
+    def audit(self):
+        """Conservation violations at the current instant (empty = clean)."""
+        return ConservationAuditor(self.mits).check()
+
 
 def run_course(plan: FaultPlan, *,
                recovery: RecoveryPolicy = RESILIENT,
@@ -63,8 +68,15 @@ def run_course(plan: FaultPlan, *,
             lambda: user.client.list_courses(
                 on_result=results.append, on_error=errors.append))
     mits.sim.run(until=mits.sim.now + horizon)
-    return ChaosRun(mits=mits, player=player, injector=injector,
-                    results=results, errors=errors)
+    run = ChaosRun(mits=mits, player=player, injector=injector,
+                   results=results, errors=errors)
+    # the headline invariant of the chaos suite: whatever the fault
+    # plan did, every layer's counters still balance at the end
+    violations = run.audit()
+    assert violations == [], \
+        f"conservation violations after {plan.name}: " \
+        + "; ".join(str(v) for v in violations)
+    return run
 
 
 def single_fault(kind: str, target: str, at: float = 6.0,

@@ -199,3 +199,32 @@ class TestInjectorValidation:
     def test_unknown_kind_is_rejected_at_spec(self):
         with pytest.raises(ValueError):
             FaultSpec(at=1.0, kind="meteor_strike", target="sw0")
+
+
+class TestConservation:
+    """The headline cross-check: after the full chaos plan, every
+    layer's counters balance (``run_course`` asserts this for every
+    test in the suite; this one exercises the whole classroom-chaos
+    plan and inspects the audit result directly)."""
+
+    def test_full_chaos_plan_conserves_every_layer(self):
+        from repro.faults import PLANS
+        run = run_course(PLANS["classroom-chaos"](), horizon=40.0)
+        violations = run.audit()
+        assert violations == []
+        # the plan really did something: drops happened and recovery
+        # fired, yet the books still balance
+        assert run.metric_total("link", "drops_total") > 0
+
+    def test_each_fault_kind_conserves(self):
+        plans = [
+            single_fault("link_down", "database->sw0", duration=2.0),
+            single_fault("burst_loss", "database->sw0", duration=3.0,
+                         rate=0.2),
+            single_fault("switch_crash", "sw0", duration=1.0),
+            single_fault("vc_teardown", "database->user1"),
+            single_fault("server_stall", "database", duration=2.0),
+        ]
+        for plan in plans:
+            run = run_course(plan)  # run_course asserts a clean audit
+            assert run.audit() == []

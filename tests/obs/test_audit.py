@@ -1,0 +1,181 @@
+"""Tests for the conservation auditor (repro.obs.audit)."""
+
+import pytest
+
+from repro.atm import ServiceCategory, Simulator, TrafficContract
+from repro.atm.link import Link
+from repro.atm.switch import Switch
+from repro.atm.topology import star_campus
+from repro.obs.audit import ConservationAuditor, Violation
+
+
+def _drive_traffic(sim, net, n=3):
+    """Open a VC and push a few PDUs end to end."""
+    contract = TrafficContract(ServiceCategory.UBR, pcr=366e3)
+    got = []
+    vc = net.open_vc("a", "b", contract,
+                     lambda payload, info: got.append(payload))
+    for i in range(n):
+        vc.send(bytes(48) + bytes([i]))
+    sim.run(until=5.0)
+    return vc, got
+
+
+class TestAuditorConstruction:
+    def test_requires_a_simulator(self):
+        with pytest.raises(ValueError):
+            ConservationAuditor()
+
+    def test_accepts_a_system_duck(self):
+        sim = Simulator()
+        net, _ = star_campus(sim, ["a", "b"])
+
+        class Duck:
+            pass
+
+        duck = Duck()
+        duck.sim, duck.network = sim, net
+        auditor = ConservationAuditor(duck)
+        assert auditor.check() == []
+        assert auditor.checks > 0
+
+
+class TestCleanNetworkAudits:
+    def test_fresh_network_is_clean(self):
+        sim = Simulator()
+        net, _ = star_campus(sim, ["a", "b", "c"])
+        assert ConservationAuditor(sim=sim, network=net).check() == []
+
+    def test_network_with_traffic_is_clean(self):
+        sim = Simulator()
+        net, _ = star_campus(sim, ["a", "b"])
+        _, got = _drive_traffic(sim, net)
+        assert got, "traffic never arrived — fixture is broken"
+        auditor = ConservationAuditor(sim=sim, network=net)
+        assert auditor.check() == []
+
+    def test_closed_vc_leaves_no_orphan_routes(self):
+        sim = Simulator()
+        net, _ = star_campus(sim, ["a", "b"])
+        vc, _ = _drive_traffic(sim, net)
+        net.close_vc(vc)
+        assert ConservationAuditor(sim=sim, network=net).check() == []
+
+    def test_report_shape(self):
+        sim = Simulator()
+        net, _ = star_campus(sim, ["a", "b"])
+        report = ConservationAuditor(sim=sim, network=net).report()
+        assert report["ok"] is True
+        assert report["checks"] > 0
+        assert report["violations"] == []
+
+
+class TestCorruptedCountersAreFlagged:
+    """The negative half of the acceptance criterion: a deliberately
+    broken counter is caught, named, and quantified."""
+
+    def test_link_counter_corruption(self):
+        sim = Simulator()
+        net, _ = star_campus(sim, ["a", "b"])
+        _drive_traffic(sim, net)
+        link = net.links[("a", "sw0")]
+        link.stats.transmitted += 5  # cells out of thin air
+        violations = ConservationAuditor(sim=sim, network=net).check()
+        assert violations
+        broken = [v for v in violations if v.entity == link._label]
+        assert broken, f"wrong entity blamed: {violations}"
+        v = broken[0]
+        assert v.component == "link"
+        assert v.invariant == "buffer_conservation"
+        assert v.actual == v.expected + 5
+
+    def test_switch_counter_corruption(self):
+        sim = Simulator()
+        net, _ = star_campus(sim, ["a", "b"])
+        _drive_traffic(sim, net)
+        sw = net.switches["sw0"]
+        sw.stats.received -= 2
+        violations = ConservationAuditor(sim=sim, network=net).check()
+        names = {(v.component, v.invariant) for v in violations}
+        assert ("switch", "receive_conservation") in names
+        v = [x for x in violations
+             if x.invariant == "receive_conservation"][0]
+        assert v.entity == "sw0"
+        assert v.expected == v.actual - 2
+
+    def test_player_cursor_corruption(self):
+        from repro.streaming.player import VideoPlayer
+        sim = Simulator()
+        player = VideoPlayer(sim, name="p1")
+        player.stats.frames_played += 1  # played a frame never received
+        violations = ConservationAuditor(sim=sim).check()
+        invariants = {v.invariant for v in violations}
+        assert "cursor_conservation" in invariants
+        assert "arrival_conservation" in invariants
+
+    def test_missing_route_is_flagged(self):
+        sim = Simulator()
+        net, _ = star_campus(sim, ["a", "b"])
+        vc, _ = _drive_traffic(sim, net)
+        sw = net.switches["sw0"]
+        key = next(iter(sw._table))
+        del sw._table[key]
+        violations = ConservationAuditor(sim=sim, network=net).check()
+        assert any(v.invariant == "missing_route" for v in violations)
+
+    def test_violation_str_names_the_law(self):
+        v = Violation("link", "a->sw0", "buffer_conservation", 10, 12,
+                      detail="why")
+        text = str(v)
+        assert "a->sw0" in text and "buffer_conservation" in text
+        assert "10" in text and "12" in text
+
+
+class TestBareComponentAudit:
+    """Unit-level audit via links=/switches= without a network."""
+
+    def test_bare_link(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=424e3, name="x->y")
+        auditor = ConservationAuditor(sim=sim, links=[link])
+        assert auditor.check() == []
+        link.stats.enqueued += 1
+        assert auditor.check() != []
+
+    def test_bare_switch(self):
+        sim = Simulator()
+        sw = Switch(sim, "swX")
+        auditor = ConservationAuditor(sim=sim, switches=[sw])
+        assert auditor.check() == []
+        sw.stats.unroutable += 1
+        violations = auditor.check()
+        assert violations[0].invariant == "receive_conservation"
+
+
+class TestLedgerAudit:
+    def test_ledger_divergence_is_flagged(self):
+        from repro.obs.accounting import Ledger
+        sim = Simulator(ledger=Ledger())
+        sim.metrics.counter("vc", "pdus_sent", vc="9").inc(4)
+        sim.ledger.account("vc", "9").sent(units=3)
+        violations = ConservationAuditor(sim=sim).check()
+        assert len(violations) == 1
+        v = violations[0]
+        assert v.component == "ledger"
+        assert v.entity == "vc:9"
+        assert v.invariant == "registry_divergence_pdus_sent"
+        assert v.expected == 4 and v.actual == 3
+
+
+class TestScenarioAudit:
+    """The positive half of the acceptance criterion, in-suite: the
+    quickstart scenario audits clean at its horizon (classroom and
+    faulty-classroom are covered by the chaos suite and CI)."""
+
+    def test_quickstart_is_clean(self):
+        from repro.core.scenarios import build
+        run = build("quickstart", accounting=True)
+        run.run_to_horizon()
+        auditor = ConservationAuditor(run.mits)
+        assert auditor.check() == []
+        assert auditor.checks > 100

@@ -185,3 +185,54 @@ class TestExport:
         reg.counter("c", "n").inc()
         reg.reset()
         assert reg.report() == {}
+
+
+class TestDelta:
+    """MetricsRegistry.delta — per-instrument diff of two reports."""
+
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.counter("link", "drops", link="a->b").inc(3)
+        reg.gauge("player", "buffer", player="p1").set(5)
+        reg.histogram("vc", "delay").observe(0.01)
+        return reg
+
+    def test_identical_reports_have_zero_deltas(self):
+        report = self._registry().report()
+        rows = MetricsRegistry.delta(report, report)
+        assert rows
+        assert all(r["delta"] == 0 for r in rows.values())
+        assert all("only" not in r for r in rows.values())
+
+    def test_counter_movement_and_key_shape(self):
+        reg = self._registry()
+        before = reg.report()
+        reg.counter("link", "drops", link="a->b").inc(4)
+        rows = MetricsRegistry.delta(before, reg.report())
+        row = rows["link.drops{link=a->b}"]
+        assert row == {"kind": "counter", "before": 3.0, "after": 7.0,
+                       "delta": 4.0}
+
+    def test_histograms_diff_their_count(self):
+        reg = self._registry()
+        before = reg.report()
+        reg.histogram("vc", "delay").observe(0.5)
+        reg.histogram("vc", "delay").observe(1.5)
+        row = MetricsRegistry.delta(before, reg.report())["vc.delay{}"]
+        assert row["kind"] == "histogram"
+        assert row["delta"] == 2.0
+
+    def test_one_sided_instruments_are_marked(self):
+        reg = self._registry()
+        before = reg.report()
+        reg.counter("switch", "received", switch="sw0").inc()
+        rows = MetricsRegistry.delta(before, reg.report())
+        new = rows["switch.received{switch=sw0}"]
+        assert new["only"] == "after"
+        assert new["before"] == 0.0 and new["delta"] == 1.0
+        gone = MetricsRegistry.delta(reg.report(), before)
+        assert gone["switch.received{switch=sw0}"]["only"] == "before"
+        assert gone["switch.received{switch=sw0}"]["delta"] == -1.0
+
+    def test_empty_reports(self):
+        assert MetricsRegistry.delta({}, {}) == {}

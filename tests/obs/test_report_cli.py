@@ -147,3 +147,35 @@ class TestRenderers:
                   "attrs": {}}]
         out = render_trace_tree(spans)
         assert out.startswith("orphan")
+
+
+class TestTopCommand:
+    def _write_accounting(self, path):
+        payload = {
+            "name": "demo", "enabled": True,
+            "kinds": {"vc": [
+                {"kind": "vc", "key": "1", "note": "a->b",
+                 "units_sent": 4, "units_delivered": 4,
+                 "cells_sent": 20, "cells_delivered": 20,
+                 "bytes_sent": 960, "bytes_delivered": 960,
+                 "drops": 0, "residency_seconds": 0.0, "share": 1.0}]},
+        }
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_archived_top_renders_tables(self, tmp_path, capsys):
+        path = self._write_accounting(tmp_path / "accounting_demo.json")
+        assert main(["top", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "-- vc (1) --" in out
+        assert "1 (a->b)" in out
+
+    def test_top_without_source_is_usage_error(self, capsys):
+        assert main(["top"]) == 2
+        assert "accounting_*.json" in capsys.readouterr().err
+
+    def test_bad_sort_column_rejected_by_argparse(self, tmp_path):
+        path = self._write_accounting(tmp_path / "accounting_demo.json")
+        import pytest
+        with pytest.raises(SystemExit):
+            main(["top", str(path), "--sort", "colour"])
