@@ -67,18 +67,59 @@ METRIC_SPECS: Tuple[Tuple[str, str, str], ...] = (
     ("peak_queue_depth", "up", "deterministic"),
     ("peak_link_queue", "up", "deterministic"),
     ("peak_player_buffer", "drift", "deterministic"),
+    # gated against the --max-obs-overhead absolute ceiling, not the
+    # baseline: what full-fidelity observability costs vs obs-off
+    ("obs_overhead_pct", "abs", "wall"),
 )
+
+#: default ceiling (percent) for the obs-on vs obs-off wall delta
+MAX_OBS_OVERHEAD_PCT = 15.0
 
 
 def baseline_path(scenario: str, out_dir: str) -> str:
     return os.path.join(out_dir, f"BENCH_{scenario}.json")
 
 
+def measure_obs_overhead(scenario: str, pairs: int = 3) -> float:
+    """End-to-end obs cost: full-fidelity obs-on vs obs-off wall delta.
+
+    Dedicated run pairs without the profiler (its wrapper would
+    dominate the comparison): one run with the default observability
+    stack (tracing, telemetry, watchdog, self-metering), one with all
+    of it off.  The delta catches costs the in-process meter cannot
+    see from inside — allocation and cache pressure included.
+
+    A single pair is hopelessly noisy on sub-second scenarios (a
+    scheduler hiccup reads as 20% "overhead"), so the minimum over
+    *pairs* interleaved pairs is reported: noise only ever inflates
+    the delta, so the smallest observation is the best estimate.
+    Clamped at 0 — a faster obs-on run is noise, not negative cost.
+    """
+    best = None
+    for _ in range(pairs):
+        t0 = time.perf_counter()
+        build(scenario).run_to_horizon()
+        wall_on = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        build(scenario, tracing=False, telemetry_interval=None,
+              watchdog=False, meter=False).run_to_horizon()
+        wall_off = time.perf_counter() - t0
+        if wall_off <= 0:
+            return 0.0
+        pct = max(0.0, (wall_on - wall_off) / wall_off * 100.0)
+        best = pct if best is None else min(best, pct)
+    return best or 0.0
+
+
 def measure(scenario: str) -> Dict[str, Any]:
     """Run one scenario to its horizon and extract the metric vector."""
     handicap = float(os.environ.get("BENCH_GATE_HANDICAP", "1.0"))
+    out_dir = os.environ.get(
+        "BENCH_METRICS_DIR", os.path.join(_ROOT, "benchmarks", "out"))
+    os.makedirs(out_dir, exist_ok=True)
+    stream_path = os.path.join(out_dir, f"obs_gate_{scenario}.jsonl")
     t0 = time.perf_counter()
-    run = build(scenario, profile=True)
+    run = build(scenario, profile=True, stream=stream_path)
     run.run_to_horizon()
     wall = (time.perf_counter() - t0) * handicap
     mits = run.mits
@@ -99,9 +140,8 @@ def measure(scenario: str) -> Dict[str, Any]:
         "peak_queue_depth": peak("simulator", "queue_depth"),
         "peak_link_queue": peak("link", "queue_occupancy"),
         "peak_player_buffer": peak("player", "buffer_frames"),
+        "obs_overhead_pct": round(measure_obs_overhead(scenario), 2),
     }
-    out_dir = os.environ.get(
-        "BENCH_METRICS_DIR", os.path.join(_ROOT, "benchmarks", "out"))
     # per-instrument drift: diff the fresh registry report against the
     # previous run's sidecar, read before dump_observability overwrites
     prev_metrics = _previous_sidecar_metrics(scenario, out_dir)
@@ -134,8 +174,9 @@ def _previous_sidecar_metrics(scenario: str,
 
 
 def judge(scenario: str, base: Dict[str, Any], cur: Dict[str, Any],
-          *, tolerance: float, wall_tolerance: float,
-          no_wall: bool) -> List[Tuple[str, Any, Any, float, str]]:
+          *, tolerance: float, wall_tolerance: float, no_wall: bool,
+          max_obs_overhead: float = MAX_OBS_OVERHEAD_PCT
+          ) -> List[Tuple[str, Any, Any, float, str]]:
     """Rows of ``(metric, baseline, current, delta_frac, verdict)``."""
     rows = []
     base_m, cur_m = base.get("metrics", {}), cur["metrics"]
@@ -144,6 +185,15 @@ def judge(scenario: str, base: Dict[str, Any], cur: Dict[str, Any],
             continue
         tol = wall_tolerance if klass == "wall" else tolerance
         b, c = base_m.get(metric), cur_m.get(metric)
+        if direction == "abs":
+            # absolute ceiling, not baseline-relative: wall deltas this
+            # small are noise run-to-run, but a blowout must fail even
+            # if the baseline had blown out too
+            if c is None:
+                continue
+            bad = c > max_obs_overhead
+            rows.append((metric, b, c, 0.0, "FAIL" if bad else "ok"))
+            continue
         if b is None:
             rows.append((metric, b, c, 0.0, "NEW"))
             continue
@@ -212,6 +262,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--no-wall", action="store_true",
                         help="skip wall-clock metrics (CI on unknown "
                              "hardware)")
+    parser.add_argument("--max-obs-overhead", type=float,
+                        default=MAX_OBS_OVERHEAD_PCT,
+                        help="fail when full-fidelity observability "
+                             "costs more than this percent of wall vs "
+                             "obs-off (default 15)")
     parser.add_argument("--out-dir", default=_ROOT,
                         help="directory holding BENCH_*.json "
                              "(default: repo root)")
@@ -253,7 +308,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             base = json.load(fh)
         rows = judge(name, base, current, tolerance=args.tolerance,
                      wall_tolerance=args.wall_tolerance,
-                     no_wall=args.no_wall)
+                     no_wall=args.no_wall,
+                     max_obs_overhead=args.max_obs_overhead)
         print(render_diff(name, rows))
         if drift is not None:
             print(render_instrument_drift(drift))

@@ -22,6 +22,7 @@ from typing import Any, Callable, Generator, Iterable, Optional
 from repro.obs.accounting import Ledger
 from repro.obs.events import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import callsite_name
 from repro.obs.tracing import Tracer
 
 #: bucket ladder for host-side callback cost (wall-clock seconds)
@@ -149,8 +150,7 @@ class Simulator:
             t0 = _time.perf_counter()
             ev.callback(*ev.args)
             cost = _time.perf_counter() - t0
-            cb = ev.callback
-            callsite = getattr(cb, "__qualname__", None) or repr(cb)
+            callsite = callsite_name(ev.callback)
             self.metrics.histogram(
                 "simulator", "callback_seconds",
                 buckets=_CALLBACK_BUCKETS, callsite=callsite).observe(cost)

@@ -167,13 +167,23 @@ SCENARIOS: Dict[str, Callable[..., ScenarioRun]] = {
 
 
 def build(name: str, *, faults: Union[str, FaultPlan, None] = None,
-          fault_seed: Optional[int] = None, **kwargs: Any) -> ScenarioRun:
+          fault_seed: Optional[int] = None,
+          sampling: Any = None, stream: Any = None,
+          **kwargs: Any) -> ScenarioRun:
     """Build a named scenario, optionally arming a fault plan on it.
 
     *faults* is a plan name (see ``repro.faults.PLANS``) or a
     :class:`FaultPlan`; *fault_seed* overrides the plan's seed for
-    reproducing a specific chaotic run.
+    reproducing a specific chaotic run.  *sampling* is an optional
+    :class:`~repro.obs.sampling.SamplingPolicy` bounding observability
+    memory, and *stream* an ``obs_*.jsonl`` path (or
+    :class:`~repro.obs.sink.ObsSink`) to stream telemetry to — both
+    forwarded to :class:`MitsSystem`.
     """
+    if sampling is not None:
+        kwargs["sampling"] = sampling
+    if stream is not None:
+        kwargs["stream"] = stream
     try:
         factory = SCENARIOS[name]
     except KeyError:

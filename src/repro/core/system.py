@@ -9,7 +9,7 @@ facilitator.  The benchmarks and examples all start from here.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Union
 
 from repro.atm.network import AtmNetwork
 from repro.atm.simulator import Simulator
@@ -23,7 +23,10 @@ from repro.faults.recovery import RecoveryPolicy
 from repro.media.base import MediaObject
 from repro.obs.accounting import Ledger
 from repro.obs.audit import ConservationAuditor
+from repro.obs.meter import OverheadMeter
 from repro.obs.profiler import LoopProfiler
+from repro.obs.sampling import SamplingPolicy
+from repro.obs.sink import ObsSink
 from repro.obs.slo import SloMonitor
 from repro.obs.timeseries import TelemetrySampler
 from repro.obs.watchdog import Watchdog
@@ -41,11 +44,27 @@ class MitsSystem:
                  profile: bool = False,
                  accounting: bool = False,
                  watchdog: bool = True,
+                 sampling: Optional[SamplingPolicy] = None,
+                 stream: Union[None, str, ObsSink] = None,
+                 meter: bool = True,
                  recovery: Optional[RecoveryPolicy] = None) -> None:
+        #: the sampling policy every obs collector sheds load under;
+        #: None keeps today's keep-everything behaviour exactly
+        self.sampling = sampling
+        #: overhead self-metering: on by default (a handful of clock
+        #: reads per span/tick/flush, nothing per-cell)
+        self.meter: Optional[OverheadMeter] = \
+            OverheadMeter() if meter else None
         #: per-entity accounting: opt-in — the disabled ledger hands
         #: out a shared no-op account, so clean runs pay nothing
-        self.sim = Simulator(ledger=Ledger(enabled=accounting))
+        self.sim = Simulator(ledger=Ledger(
+            enabled=accounting,
+            top_k=sampling.ledger_top_k if sampling is not None else None))
         self.sim.tracer.enabled = tracing
+        self.sim.tracer.meter = self.meter
+        if sampling is not None:
+            self.sim.tracer.apply_policy(sampling)
+            self.sim.recorder.apply_policy(sampling)
         self.slos = SloMonitor()
         self.seed = seed
         #: how hard the transport/streaming layers fight back against
@@ -59,7 +78,16 @@ class MitsSystem:
         if telemetry_interval is not None:
             self.sampler = TelemetrySampler(
                 self.sim, interval=telemetry_interval,
-                capacity=telemetry_capacity)
+                capacity=telemetry_capacity,
+                policy=sampling, meter=self.meter)
+        #: streaming sidecar: attach BEFORE the sampler starts so the
+        #: very first tick (and everything after) hits the stream
+        self.sink: Optional[ObsSink] = None
+        if stream is not None:
+            self.sink = (stream if isinstance(stream, ObsSink)
+                         else ObsSink(stream))
+            self.sink.attach(self)
+        if self.sampler is not None:
             self.sampler.start()
         #: event-loop profiler: installed only on request — the
         #: disabled path leaves Simulator._execute untouched

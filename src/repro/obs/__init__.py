@@ -10,6 +10,12 @@ benchmark harness export all of it so measured trajectories are
 comparable across PRs.  :class:`SloMonitor` turns a metrics report
 into pass/fail verdicts, and ``python -m repro.obs`` renders dumps
 into waterfalls, sparkline dashboards, and tables.
+
+For at-scale runs, a :class:`SamplingPolicy` bounds every collector's
+memory (head-based trace sampling, span/event reservoirs, telemetry
+decimation/coalescing, top-K accounting), an :class:`ObsSink` streams
+records to an ``obs_*.jsonl`` sidecar as the run progresses, and an
+:class:`OverheadMeter` attributes what the obs stack itself cost.
 """
 
 from repro.obs.accounting import (
@@ -31,7 +37,16 @@ from repro.obs.metrics import (
     NULL_HISTOGRAM,
     TIME_BUCKETS,
 )
+from repro.obs.meter import OverheadMeter
 from repro.obs.profiler import CallsiteStats, LoopProfiler
+from repro.obs.sampling import (
+    DEFAULT_POLICY,
+    Reservoir,
+    SamplingPolicy,
+    scaled_policy,
+    trace_sampled,
+)
+from repro.obs.sink import ObsSink, is_obs_sidecar, load_obs_sidecar
 from repro.obs.slo import DEFAULT_SLOS, Slo, SloMonitor, SloResult
 from repro.obs.timeseries import Series, TelemetrySampler, load_timeseries
 from repro.obs.tracing import (
@@ -49,13 +64,22 @@ __all__ = [
     "ConservationAuditor",
     "Counter",
     "DEFAULT_DETECTORS",
+    "DEFAULT_POLICY",
     "Detector",
     "Ledger",
     "NULL_ACCOUNT",
+    "ObsSink",
+    "OverheadMeter",
+    "Reservoir",
+    "SamplingPolicy",
     "Violation",
     "Watchdog",
+    "is_obs_sidecar",
     "load_accounting_file",
+    "load_obs_sidecar",
     "render_top",
+    "scaled_policy",
+    "trace_sampled",
     "LoopProfiler",
     "Series",
     "TelemetrySampler",

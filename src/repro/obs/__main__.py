@@ -33,6 +33,13 @@ Subcommands::
         every live counter against the flow-conservation invariants.
         Prints violations (exit 1 when any) and optionally dumps the
         full sidecar set for the run.
+
+``report``, ``trace``, ``dashboard``, and ``top`` all additionally
+accept a streamed ``obs_<name>.jsonl`` sidecar (see
+``repro.obs.sink``) in place of the legacy monolithic dumps — the file
+is sniffed by its first-line ``meta`` record.  Live modes take
+``--sample RATE`` (with ``--reservoir`` / ``--top-k``) to run under a
+bounded-memory sampling policy.
 """
 
 from __future__ import annotations
@@ -57,15 +64,47 @@ from repro.obs.report import (
     load_metrics_file,
     load_trace_file,
     render_metrics_summary,
+    render_overhead,
     render_slo_table,
     render_telemetry_health,
     render_traces,
 )
+from repro.obs.sink import is_obs_sidecar, load_obs_sidecar
 from repro.obs.slo import SloMonitor
 
 
+def _sampling_policy(args: argparse.Namespace):
+    """Build the --sample preset policy for live modes, or None."""
+    if getattr(args, "sample", None) is None:
+        return None
+    from repro.obs.sampling import scaled_policy
+    return scaled_policy(args.sample, reservoir=args.reservoir,
+                         top_k=args.top_k)
+
+
+def _add_sample_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--sample", type=float, default=None,
+                        metavar="RATE",
+                        help="bounded-memory live mode: keep RATE of "
+                        "the traces, reservoir-bound spans/events, "
+                        "top-K accounting")
+    parser.add_argument("--reservoir", type=int, default=512,
+                        help="reservoir size used with --sample")
+    parser.add_argument("--top-k", type=int, default=32, dest="top_k",
+                        help="accounts kept per kind with --sample")
+
+
 def _report(args: argparse.Namespace) -> int:
-    meta, metrics = load_metrics_file(args.metrics)
+    spans = events = None
+    if is_obs_sidecar(args.metrics):
+        payload = load_obs_sidecar(args.metrics)
+        meta = {k: v for k, v in payload["meta"].items()
+                if k != "metrics"}
+        meta.setdefault("name", payload["name"])
+        metrics = payload["meta"].get("metrics", {})
+        spans, events = payload["spans"], payload["events"]
+    else:
+        meta, metrics = load_metrics_file(args.metrics)
     title = meta.get("name") or args.metrics
     header = f"== scenario: {title} =="
     if "sim_time" in meta:
@@ -77,27 +116,39 @@ def _report(args: argparse.Namespace) -> int:
     if "telemetry" in meta:
         print()
         print(render_telemetry_health(meta["telemetry"]))
+    if "overhead" in meta:
+        print()
+        print(render_overhead(meta["overhead"]))
     print()
     results = SloMonitor().evaluate(metrics)
     print(render_slo_table(results))
-    trace_path = args.trace or find_trace_sidecar(args.metrics)
-    if trace_path:
-        spans, events = load_trace_file(trace_path)
+    if spans is not None:
         print()
-        print(f"== traces: {trace_path} ==")
+        print(f"== traces: {args.metrics} ==")
         print(render_traces(spans, events, top=args.top))
-    ts_path = find_timeseries_sidecar(args.metrics)
-    if ts_path:
-        print()
-        print(f"(time-series sidecar: render with "
-              f"`python -m repro.obs dashboard {ts_path}`)")
+    else:
+        trace_path = args.trace or find_trace_sidecar(args.metrics)
+        if trace_path:
+            spans, events = load_trace_file(trace_path)
+            print()
+            print(f"== traces: {trace_path} ==")
+            print(render_traces(spans, events, top=args.top))
+        ts_path = find_timeseries_sidecar(args.metrics)
+        if ts_path:
+            print()
+            print(f"(time-series sidecar: render with "
+                  f"`python -m repro.obs dashboard {ts_path}`)")
     if args.strict and not all(r.ok for r in results):
         return 1
     return 0
 
 
 def _trace(args: argparse.Namespace) -> int:
-    spans, events = load_trace_file(args.trace)
+    if is_obs_sidecar(args.trace):
+        payload = load_obs_sidecar(args.trace)
+        spans, events = payload["spans"], payload["events"]
+    else:
+        spans, events = load_trace_file(args.trace)
     print(render_traces(spans, events, top=args.top))
     return 0
 
@@ -115,10 +166,16 @@ def _dashboard(args: argparse.Namespace) -> int:
               "<scenario>", file=sys.stderr)
         return 2
     if args.timeseries is not None:
-        payload = load_timeseries_file(args.timeseries)
+        if is_obs_sidecar(args.timeseries):
+            sidecar = load_obs_sidecar(args.timeseries)
+            payload = sidecar["timeseries"]
+            title = sidecar["name"] or args.timeseries
+        else:
+            payload = load_timeseries_file(args.timeseries)
+            title = payload.get("name") or args.timeseries
         print(render_dashboard(
             payload, profile=payload.get("profile"), width=args.width,
-            top=args.top, title=payload.get("name") or args.timeseries))
+            top=args.top, title=title))
         return 0
     return _live_dashboard(args)
 
@@ -130,6 +187,7 @@ def _live_dashboard(args: argparse.Namespace) -> int:
 
     run = build(args.live, profile=not args.no_profile,
                 telemetry_interval=args.interval,
+                sampling=_sampling_policy(args),
                 faults=args.faults, fault_seed=args.fault_seed)
     mits, sim = run.mits, run.mits.sim
     if run.injector is not None:
@@ -167,16 +225,26 @@ def _top(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     if args.accounting is not None:
-        payload = load_accounting_file(args.accounting)
+        if is_obs_sidecar(args.accounting):
+            sidecar = load_obs_sidecar(args.accounting)
+            payload = sidecar["accounting"]
+            if payload is None:
+                print("top: this obs stream has no ledger checkpoints "
+                      "(run with accounting enabled)", file=sys.stderr)
+                return 2
+            title = sidecar["name"] or args.accounting
+        else:
+            payload = load_accounting_file(args.accounting)
+            title = payload.get("name") or args.accounting
         print(render_top(payload, kind=args.kind, sort=args.sort,
-                         limit=args.limit,
-                         title=payload.get("name") or args.accounting))
+                         limit=args.limit, title=title))
         return 0
     # imported lazily: repro.core pulls in the whole stack, which the
     # archived-file path of this CLI doesn't need
     from repro.core.scenarios import build
 
     run = build(args.live, accounting=True,
+                sampling=_sampling_policy(args),
                 faults=args.faults, fault_seed=args.fault_seed)
     run.run_to_horizon()
     sim = run.mits.sim
@@ -271,6 +339,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         "scenario (see repro.faults.PLANS)")
     p_dash.add_argument("--fault-seed", type=int, default=None,
                         help="override the fault plan's seed")
+    _add_sample_flags(p_dash)
     p_dash.set_defaults(func=_dashboard)
 
     p_top = sub.add_parser(
@@ -290,6 +359,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_top.add_argument("--faults", metavar="PLAN",
                        help="arm a named fault plan on the live scenario")
     p_top.add_argument("--fault-seed", type=int, default=None)
+    _add_sample_flags(p_top)
     p_top.set_defaults(func=_top)
 
     p_audit = sub.add_parser(

@@ -13,6 +13,14 @@ bounded no matter how pathological the run, and the ``dropped``
 counter says how many old events were evicted.  One recorder is owned
 by each :class:`~repro.atm.simulator.Simulator` and shared by every
 component attached to it.
+
+Under a :class:`~repro.obs.sampling.SamplingPolicy` (see
+:meth:`FlightRecorder.apply_policy`) ring-evicted events can spill
+into a seeded reservoir instead of vanishing, so a uniform sample of
+the *early* run survives arbitrarily long scenarios; and a ``sink``
+callable, when attached, receives every recorded event as it happens,
+which is how the streaming sidecar persists full fidelity while the
+in-memory window stays bounded.
 """
 
 from __future__ import annotations
@@ -60,6 +68,24 @@ class FlightRecorder:
         self.dropped = 0
         self.recorded = 0
         self._events: Deque[FlightEvent] = deque(maxlen=capacity)
+        #: overflow reservoir, installed by apply_policy(event_reservoir=N)
+        self._overflow = None
+        #: receives every recorded FlightEvent (streaming sidecar)
+        self.sink: Optional[Callable[[FlightEvent], None]] = None
+
+    def apply_policy(self, policy) -> None:
+        """Install a :class:`~repro.obs.sampling.SamplingPolicy`.
+
+        With ``event_reservoir`` set, events evicted from the ring
+        spill into a seeded uniform reservoir instead of vanishing.
+        """
+        from repro.obs.sampling import Reservoir
+
+        if policy.event_reservoir is not None:
+            self._overflow = Reservoir(policy.event_reservoir,
+                                       seed=policy.seed)
+        else:
+            self._overflow = None
 
     def record(self, component: str, kind: str, *, severity: str = "info",
                trace_id: Optional[int] = None, **attrs: Any) -> None:
@@ -70,14 +96,27 @@ class FlightRecorder:
             raise ValueError(f"unknown severity {severity!r}")
         if len(self._events) == self._events.maxlen:
             self.dropped += 1
+            if self._overflow is not None:
+                self._overflow.offer(self._events[0])
         self.recorded += 1
-        self._events.append(FlightEvent(
+        event = FlightEvent(
             time=self.clock(), component=component, kind=kind,
-            severity=severity, trace_id=trace_id, attrs=attrs))
+            severity=severity, trace_id=trace_id, attrs=attrs)
+        self._events.append(event)
+        if self.sink is not None:
+            self.sink(event)
 
     @property
     def events(self) -> List[FlightEvent]:
         return list(self._events)
+
+    @property
+    def overflow(self) -> List[FlightEvent]:
+        """Reservoir-kept evicted events, oldest-first (empty unless a
+        policy with ``event_reservoir`` is applied)."""
+        if self._overflow is None:
+            return []
+        return sorted(self._overflow.items(), key=lambda e: e.time)
 
     def for_trace(self, trace_id: int) -> List[FlightEvent]:
         """Events correlated to one trace."""
@@ -95,17 +134,30 @@ class FlightRecorder:
 
     def clear(self) -> None:
         self._events.clear()
+        if self._overflow is not None:
+            self._overflow.clear()
         self.dropped = 0
         self.recorded = 0
 
     def snapshot(self) -> Dict[str, Any]:
-        """JSON-stable dump of the ring (newest last)."""
-        return {
+        """JSON-stable dump of the ring (newest last).
+
+        With an overflow reservoir installed the snapshot grows an
+        ``overflow`` block; the default shape is unchanged.
+        """
+        snap: Dict[str, Any] = {
             "recorded": self.recorded,
             "dropped": self.dropped,
             "counts": self.counts(),
             "events": [e.to_dict() for e in self._events],
         }
+        if self._overflow is not None:
+            snap["overflow"] = {
+                "capacity": self._overflow.capacity,
+                "kept": len(self._overflow),
+                "events": [e.to_dict() for e in self.overflow],
+            }
+        return snap
 
     def to_jsonl(self) -> str:
         """One event per line, for ``trace_*.jsonl`` sidecar dumps."""

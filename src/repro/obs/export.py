@@ -18,6 +18,16 @@ When the deployment's ledger is enabled a fourth sidecar,
 ``python -m repro.obs top``; the metrics sidecar also embeds the
 conservation-audit verdict so archived runs prove their counters
 balanced.
+
+This monolithic path is the *compatibility* exporter: it materialises
+everything in memory and writes once at the end.  At-scale runs attach
+a streaming :class:`~repro.obs.sink.ObsSink` instead (see
+``MitsSystem(stream=...)``), which appends one JSONL record per span /
+event / telemetry tick as the run progresses; ``dump_observability``
+closes an attached sink so its ``fin`` summary lands too.  When the
+deployment self-meters (``MitsSystem(meter=True)``, the default) the
+metrics sidecar additionally carries a top-level ``overhead`` block —
+what the obs stack itself cost, by component.
 """
 
 from __future__ import annotations
@@ -57,10 +67,24 @@ def dump_observability(mits, name: str, out_dir: str,
     os.makedirs(out_dir, exist_ok=True)
     written: List[str] = []
     sim = mits.sim
+
+    # an attached streaming sink gets its fin summary + final flush
+    # first, so the sidecar set is complete even if a later write fails
+    sink = getattr(mits, "sink", None)
+    sink_flushed = sink is not None and not sink.closed
+    if sink_flushed:
+        sink.close()
+        written.append(sink.path)
+
     metrics_report = sim.metrics.report()
     watchdog = getattr(mits, "watchdog", None)
+    meter = getattr(mits, "meter", None)
 
     metrics_path = os.path.join(out_dir, f"metrics_{name}.json")
+    audit_t0 = meter.now() if meter is not None else 0.0
+    audit_report = ConservationAuditor(mits).report()
+    if meter is not None:
+        meter.charge("auditor", audit_t0)
     dump: Dict[str, Any] = {
         "name": name,
         "sim_time": sim.now,
@@ -70,13 +94,17 @@ def dump_observability(mits, name: str, out_dir: str,
             metrics_report,
             watchdog_alerts=watchdog.alerts
             if watchdog is not None else None),
-        "audit": ConservationAuditor(mits).report(),
+        "audit": audit_report,
         "telemetry": telemetry_health(mits),
     }
     if watchdog is not None:
         dump["watchdog"] = watchdog.snapshot()
     if profile is not None:
         dump["profile"] = profile
+    if meter is not None:
+        # wall-clock, so deliberately OUTSIDE the deterministic
+        # telemetry block (and never in the JSONL stream)
+        dump["overhead"] = meter.report()
     with open(metrics_path, "w") as fh:
         json.dump(dump, fh, indent=2, sort_keys=True)
     written.append(metrics_path)
@@ -93,7 +121,10 @@ def dump_observability(mits, name: str, out_dir: str,
 
     sampler = getattr(mits, "sampler", None)
     if sampler is not None:
-        sampler.sample()  # flush a final point at `now`
+        if not sink_flushed:
+            sampler.sample()  # flush a final point at `now`
+        # (closing the sink above already flushed one — a second call
+        # would inflate the samples counter past what the fin recorded)
         ts_path = os.path.join(out_dir, f"timeseries_{name}.json")
         with open(ts_path, "w") as fh:
             json.dump({"name": name, **sampler.snapshot()}, fh,

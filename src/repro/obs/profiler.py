@@ -23,10 +23,33 @@ buys, the headline number for "as fast as the hardware allows".
 
 from __future__ import annotations
 
+import functools
 import time as _time
 from typing import Any, Callable, Dict, List, Optional
 
-__all__ = ["CallsiteStats", "LoopProfiler"]
+__all__ = ["CallsiteStats", "LoopProfiler", "callsite_name"]
+
+
+def callsite_name(cb: Any) -> str:
+    """Best-effort qualified name for an event callback.
+
+    ``functools.partial`` objects carry no ``__qualname__`` and would
+    be billed to an opaque ``functools.partial(...)`` repr; decorated
+    callables would be billed to the decorator's wrapper.  Unwrap both
+    (partials via ``.func``, decorators via ``__wrapped__``) so cost
+    lands on the function that actually ran.  A bare lambda keeps its
+    own qualname — ``Foo.bar.<locals>.<lambda>`` still says where it
+    was defined.
+    """
+    for _ in range(8):  # defensive bound on pathological wrap chains
+        if isinstance(cb, functools.partial):
+            cb = cb.func
+            continue
+        wrapped = getattr(cb, "__wrapped__", None)
+        if wrapped is None:
+            break
+        cb = wrapped
+    return getattr(cb, "__qualname__", None) or repr(cb)
 
 
 class CallsiteStats:
@@ -114,8 +137,7 @@ class LoopProfiler:
     # -- the hot wrapper ---------------------------------------------------
 
     def _profiled_execute(self, ev) -> None:
-        cb = ev.callback
-        callsite = getattr(cb, "__qualname__", None) or repr(cb)
+        callsite = callsite_name(ev.callback)
         frame = [callsite, self._clock(), 0.0]
         self._stack.append(frame)
         try:

@@ -25,6 +25,7 @@ __all__ = [
     "load_metrics_file",
     "load_trace_file",
     "render_metrics_summary",
+    "render_overhead",
     "render_slo_table",
     "render_slow_spans",
     "render_telemetry_health",
@@ -180,6 +181,27 @@ def render_telemetry_health(health: Mapping[str, Any]) -> str:
     if flight_dropped or tracer_dropped or evictions:
         lines.append("   (!) telemetry was truncated — oldest data is "
                      "gone; raise capacities to keep it")
+    return "\n".join(lines)
+
+
+def render_overhead(overhead: Mapping[str, Any]) -> str:
+    """What the obs stack itself cost (the ``overhead`` block an
+    :class:`~repro.obs.meter.OverheadMeter` exports into
+    ``metrics_*.json``)."""
+    pct = overhead.get("obs_overhead_pct", 0.0)
+    lines = [f"observability overhead: {pct:.2f}% of wall "
+             f"({fmt_seconds(overhead.get('obs_seconds', 0.0))} of "
+             f"{fmt_seconds(overhead.get('wall_seconds', 0.0))}, "
+             f"{overhead.get('obs_bytes', 0)} bytes written)"]
+    components = overhead.get("components", {})
+    for name in sorted(components):
+        cost = components[name]
+        line = (f"    {_pad(name, 12)}"
+                f"{fmt_seconds(cost.get('seconds', 0.0)):>10}  "
+                f"{cost.get('calls', 0):>8} calls")
+        if cost.get("bytes"):
+            line += f"  {cost['bytes']} bytes"
+        lines.append(line)
     return "\n".join(lines)
 
 

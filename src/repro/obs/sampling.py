@@ -1,0 +1,197 @@
+"""Sampling policy: bounded-memory observability for at-scale runs.
+
+Every collector in ``repro.obs`` was built keep-everything: the tracer
+retains every finished span (up to a large ring), the flight recorder
+a 4096-event ring, the sampler one ring per instrument, and the ledger
+one account per entity.  That is the right default for the toy
+scenarios, and it collapses exactly when the campus-scale runs begin —
+thousands of sites mean millions of spans and one account per VC ever
+opened.
+
+A :class:`SamplingPolicy` is the single opt-in knob set describing how
+each collector should shed load:
+
+* **head-based trace sampling** — :func:`trace_sampled` is a pure,
+  seeded function of the trace id, so the keep/drop decision is made
+  once per trace ("at the head") and every span of the trace — across
+  sites, fragmentation, and retransmission — inherits it.  Sampled
+  trees therefore stay *connected*: either a whole request is kept or
+  none of it is.
+* **reservoir sampling** — :class:`Reservoir` (Algorithm R, seeded) is
+  a fixed-size uniform sample over an unbounded stream.  The tracer
+  can store finished spans in one, and the flight recorder can spill
+  ring-evicted events into one, so "what happened early in the run"
+  survives even after millions of events.
+* **telemetry decimation + last-value coalescing** — the sampler can
+  record only every *stride*-th tick, and/or collapse consecutive
+  identical samples into one point whose timestamp slides forward.
+* **top-K accounting** — the ledger keeps only the heaviest K accounts
+  per entity kind (space-saving sketch, see ``obs/accounting``).
+
+The default policy keeps everything; every collector treats it as
+"behave exactly as before".  Determinism contract: the policy carries
+one seed, every sampling decision derives from it and from simulated
+quantities only, so same seed + same policy ⇒ identical decisions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "DEFAULT_POLICY",
+    "Reservoir",
+    "SamplingPolicy",
+    "scaled_policy",
+    "trace_sampled",
+]
+
+_MASK64 = (1 << 64) - 1
+
+
+def trace_sampled(trace_id: int, rate: float, seed: int = 0) -> bool:
+    """Head-based sampling decision for one trace, as a pure function.
+
+    Hashes ``(trace_id, seed)`` (splitmix64-style finalizer) onto
+    [0, 1) and keeps the trace when the hash lands under *rate*.  No
+    RNG state is consumed, so the decision is identical no matter how
+    many times — or in what order — it is asked, which is what lets
+    children on other sites inherit it by carrying only the trace id.
+    """
+    if rate >= 1.0:
+        return True
+    if rate <= 0.0:
+        return False
+    h = (trace_id * 0x9E3779B97F4A7C15 + seed * 0xBF58476D1CE4E5B9
+         + 0x94D049BB133111EB) & _MASK64
+    h ^= h >> 30
+    h = (h * 0xBF58476D1CE4E5B9) & _MASK64
+    h ^= h >> 27
+    h = (h * 0x94D049BB133111EB) & _MASK64
+    h ^= h >> 31
+    return (h >> 11) / float(1 << 53) < rate
+
+
+class Reservoir:
+    """Fixed-size uniform sample over a stream (Algorithm R, seeded).
+
+    ``offer()`` is O(1); once full, each new item replaces a random
+    kept item with probability ``capacity / offered``.  ``evicted``
+    counts items not retained (offered minus kept), which is what the
+    telemetry-health block reports as truncation.
+    """
+
+    __slots__ = ("capacity", "offered", "_items", "_rng")
+
+    def __init__(self, capacity: int, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError("reservoir capacity must be at least 1")
+        self.capacity = capacity
+        self.offered = 0
+        self._items: List[Any] = []
+        self._rng = random.Random(seed)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def evicted(self) -> int:
+        return self.offered - len(self._items)
+
+    def offer(self, item: Any) -> bool:
+        """Offer one item; returns True when it was retained."""
+        self.offered += 1
+        if len(self._items) < self.capacity:
+            self._items.append(item)
+            return True
+        slot = self._rng.randrange(self.offered)
+        if slot < self.capacity:
+            self._items[slot] = item
+            return True
+        return False
+
+    def items(self) -> List[Any]:
+        """The kept sample, in slot order (not chronological)."""
+        return list(self._items)
+
+    def clear(self) -> None:
+        self.offered = 0
+        self._items.clear()
+
+
+@dataclass(frozen=True)
+class SamplingPolicy:
+    """How each obs collector sheds load.  Defaults keep everything."""
+
+    #: fraction of traces kept (head-based, per trace id); 1.0 = all
+    trace_sample_rate: float = 1.0
+    #: store finished spans in a reservoir of this size (None = the
+    #: tracer's newest-wins ring, today's behaviour)
+    span_reservoir: Optional[int] = None
+    #: spill flight-recorder ring evictions into a reservoir of this
+    #: size (None = evicted events are simply gone, today's behaviour)
+    event_reservoir: Optional[int] = None
+    #: record only every Nth telemetry tick (1 = every tick)
+    telemetry_stride: int = 1
+    #: collapse consecutive identical telemetry samples into one point
+    telemetry_coalesce: bool = False
+    #: ledger keeps only the heaviest K accounts per kind (None = one
+    #: account per entity, today's behaviour)
+    ledger_top_k: Optional[int] = None
+    #: every sampling decision derives from this seed
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ValueError("trace_sample_rate must be in [0, 1]")
+        if self.telemetry_stride < 1:
+            raise ValueError("telemetry_stride must be >= 1")
+        for name in ("span_reservoir", "event_reservoir", "ledger_top_k"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1 when set")
+
+    @property
+    def is_default(self) -> bool:
+        """True when this policy changes no collector behaviour."""
+        return self == DEFAULT_POLICY or (
+            self.trace_sample_rate >= 1.0
+            and self.span_reservoir is None
+            and self.event_reservoir is None
+            and self.telemetry_stride == 1
+            and not self.telemetry_coalesce
+            and self.ledger_top_k is None)
+
+    def sampled(self, trace_id: int) -> bool:
+        """Keep/drop decision for one trace under this policy."""
+        return trace_sampled(trace_id, self.trace_sample_rate, self.seed)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_sample_rate": self.trace_sample_rate,
+            "span_reservoir": self.span_reservoir,
+            "event_reservoir": self.event_reservoir,
+            "telemetry_stride": self.telemetry_stride,
+            "telemetry_coalesce": self.telemetry_coalesce,
+            "ledger_top_k": self.ledger_top_k,
+            "seed": self.seed,
+        }
+
+
+#: the keep-everything policy every collector defaults to
+DEFAULT_POLICY = SamplingPolicy()
+
+
+def scaled_policy(sample: float, *, reservoir: int = 512,
+                  top_k: int = 32, seed: int = 0) -> SamplingPolicy:
+    """The standard at-scale preset behind the CLI ``--sample`` flag:
+    keep *sample* of the traces, reservoir-bound spans and spilled
+    events, and track only the heaviest *top_k* accounts per kind."""
+    return SamplingPolicy(trace_sample_rate=sample,
+                          span_reservoir=reservoir,
+                          event_reservoir=reservoir,
+                          telemetry_coalesce=True,
+                          ledger_top_k=top_k,
+                          seed=seed)

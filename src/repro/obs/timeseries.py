@@ -30,6 +30,14 @@ arrives.  ``Simulator.run()`` with no horizon therefore still drains.
 Memory is bounded: each series is a fixed-capacity ring and evictions
 are counted (surfaced by the ``repro.obs`` CLI so silently-truncated
 telemetry is visible).
+
+Under a :class:`~repro.obs.sampling.SamplingPolicy` the sampler can
+additionally *decimate* (record only every ``telemetry_stride``-th
+scheduled tick — explicit :meth:`TelemetrySampler.sample` calls always
+record) and *coalesce* (a sample identical to the previous point slides
+that point's timestamp forward instead of appending, so flat-lining
+gauges cost O(1) ring slots).  A ``sink`` callable, when attached,
+receives every recorded tick for the streaming sidecar.
 """
 
 from __future__ import annotations
@@ -58,11 +66,11 @@ class Series:
 
     __slots__ = ("component", "name", "labels", "kind",
                  "times", "values", "rates", "p99s", "evicted",
-                 "_prev_value", "_prev_time")
+                 "coalesce", "coalesced", "_prev_value", "_prev_time")
 
     def __init__(self, component: str, name: str,
                  labels: Mapping[str, str], kind: str,
-                 capacity: int) -> None:
+                 capacity: int, *, coalesce: bool = False) -> None:
         self.component = component
         self.name = name
         self.labels = dict(labels)
@@ -74,6 +82,8 @@ class Series:
         self.p99s: Optional[deque] = \
             deque(maxlen=capacity) if kind == "histogram" else None
         self.evicted = 0
+        self.coalesce = coalesce
+        self.coalesced = 0
         self._prev_value: Optional[float] = None
         self._prev_time: Optional[float] = None
 
@@ -88,6 +98,19 @@ class Series:
     def record(self, time: float, value: float,
                p99: Optional[float] = None) -> None:
         """Append one sample, deriving the rate from the previous one."""
+        if (self.coalesce and self.times
+                and value == self._prev_value
+                and (self.rates is None or self.rates[-1] == 0.0)
+                and (self.p99s is None
+                     or self.p99s[-1] == (0.0 if p99 is None else p99))):
+            # identical to the standing point: slide its timestamp
+            # forward instead of burning a ring slot (the derived rate
+            # of an unchanged cumulative value is 0, matching the one
+            # already stored)
+            self.times[-1] = time
+            self.coalesced += 1
+            self._prev_time = time
+            return
         if len(self.times) == self.times.maxlen:
             self.evicted += 1
         self.times.append(time)
@@ -138,6 +161,8 @@ class Series:
             "values": list(self.values),
             "rollup": self.rollup(),
         }
+        if self.coalesce:
+            out["coalesced"] = self.coalesced
         if self.rates is not None:
             out["rates"] = list(self.rates)
             out["rate_rollup"] = self.rollup(channel="rates")
@@ -157,7 +182,7 @@ class TelemetrySampler:
 
     def __init__(self, sim, *, interval: float = 0.25,
                  capacity: int = 512,
-                 registry=None) -> None:
+                 registry=None, policy=None, meter=None) -> None:
         if interval <= 0:
             raise ValueError(f"sampling interval must be positive "
                              f"(got {interval})")
@@ -172,6 +197,14 @@ class TelemetrySampler:
         self._series: Dict[Tuple[str, str, LabelKey], Series] = {}
         self._dormant = False
         self._tick_event = None
+        self._stride = 1 if policy is None else policy.telemetry_stride
+        self._coalesce = (False if policy is None
+                          else policy.telemetry_coalesce)
+        self._ticks = 0
+        #: receives ``(now, rows)`` per recorded tick (streaming sidecar)
+        self.sink: Optional[Any] = None
+        #: OverheadMeter charged per sample, when attached
+        self.meter = meter
         #: callables invoked with the sample time after each sample —
         #: the watchdog's evaluation hook (see obs/watchdog)
         self._listeners: List[Any] = []
@@ -214,7 +247,9 @@ class TelemetrySampler:
 
     def _tick(self) -> None:
         self._tick_event = None
-        self.sample()
+        self._ticks += 1
+        if self._ticks % self._stride == 0:
+            self.sample()
         # re-arm only while the deployment still has work queued;
         # otherwise go dormant so `run()` with no horizon still drains.
         # Simulator.schedule() wakes us when new work arrives.
@@ -233,8 +268,12 @@ class TelemetrySampler:
 
     def sample(self) -> None:
         """Snapshot every registered instrument at the current sim time."""
+        meter = self.meter
+        t0 = meter.now() if meter is not None else 0.0
         now = self.sim.now
         self.samples += 1
+        sink = self.sink
+        rows: Optional[List[List[Any]]] = [] if sink is not None else None
         for (component, name, labels), inst in \
                 self.registry._instruments.items():
             kind = getattr(inst, "kind", None)
@@ -244,7 +283,7 @@ class TelemetrySampler:
             series = self._series.get(key)
             if series is None:
                 series = Series(component, name, dict(labels), kind,
-                                self.capacity)
+                                self.capacity, coalesce=self._coalesce)
                 self._series[key] = series
             elif series.times and series.times[-1] == now:
                 continue  # snapshot() flush at an existing tick time
@@ -254,6 +293,17 @@ class TelemetrySampler:
                 series.record(now, inst.value)
             else:  # histogram (empty histograms report p99 = 0.0)
                 series.record(now, inst.count, p99=inst.quantile(0.99))
+            if rows is not None:
+                rows.append([
+                    component, name, series.labels, kind,
+                    series.values[-1],
+                    series.rates[-1] if series.rates is not None else None,
+                    series.p99s[-1] if series.p99s is not None else None,
+                ])
+        if sink is not None:
+            sink(now, rows)
+        if meter is not None:
+            meter.charge("sampler", t0)
         for fn in list(self._listeners):
             fn(now)
 
@@ -277,6 +327,11 @@ class TelemetrySampler:
         """Total ring evictions across every series."""
         return sum(s.evicted for s in self._series.values())
 
+    @property
+    def coalesced(self) -> int:
+        """Total samples collapsed into standing points across series."""
+        return sum(s.coalesced for s in self._series.values())
+
     def peak(self, component: str, name: str) -> Optional[float]:
         """Largest sampled value across all series of one metric."""
         peaks = [max(s.values) for s in self.series(component, name)
@@ -284,8 +339,12 @@ class TelemetrySampler:
         return max(peaks) if peaks else None
 
     def snapshot(self) -> Dict[str, Any]:
-        """JSON-stable dump (the ``timeseries_*.json`` sidecar body)."""
-        return {
+        """JSON-stable dump (the ``timeseries_*.json`` sidecar body).
+
+        Decimation/coalescing stats appear only when a policy enables
+        them; the default shape is unchanged.
+        """
+        snap: Dict[str, Any] = {
             "enabled": True,
             "interval": self.interval,
             "capacity": self.capacity,
@@ -294,6 +353,10 @@ class TelemetrySampler:
             "series": [s.to_dict() for s in sorted(
                 self._series.values(), key=lambda s: s.key)],
         }
+        if self._stride != 1 or self._coalesce:
+            snap["stride"] = self._stride
+            snap["coalesced"] = self.coalesced
+        return snap
 
 
 def load_timeseries(payload: Mapping[str, Any]) -> List[Series]:

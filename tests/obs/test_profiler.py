@@ -5,7 +5,7 @@ import types
 import pytest
 
 from repro.atm.simulator import Simulator
-from repro.obs.profiler import LoopProfiler
+from repro.obs.profiler import LoopProfiler, callsite_name
 
 
 def busy(n=100):
@@ -60,6 +60,34 @@ class TestAttribution:
         sim.run()
         assert any("<lambda>" in s.callsite
                    for s in profiler.hotspots(top=None))
+
+    def test_partials_billed_to_the_underlying_function(self):
+        import functools
+        assert callsite_name(functools.partial(busy, 5)) \
+            == busy.__qualname__
+        # nested partials unwrap all the way down
+        assert callsite_name(
+            functools.partial(functools.partial(busy, 5))) \
+            == busy.__qualname__
+
+    def test_wrapped_callbacks_billed_to_the_wrapped_function(self):
+        import functools
+
+        @functools.wraps(busy)
+        def wrapper(*args, **kwargs):
+            return busy(*args, **kwargs)
+
+        assert callsite_name(wrapper) == busy.__qualname__
+
+    def test_profiler_attributes_partial_cost_to_the_function(self):
+        import functools
+        sim = Simulator()
+        profiler = LoopProfiler().install(sim)
+        sim.schedule(0.0, functools.partial(busy, 50))
+        sim.run()
+        profiler.uninstall()
+        assert [s.callsite for s in profiler.hotspots()] \
+            == [busy.__qualname__]
 
     def test_hotspots_ranked_by_cumulative_time(self):
         sim = Simulator()

@@ -1,0 +1,252 @@
+"""Sampling policy layer: head-based trace sampling, reservoirs,
+telemetry decimation/coalescing, and top-K accounting
+(repro.obs.sampling + the collectors that honour it)."""
+
+import pytest
+
+from repro.obs.accounting import Ledger, render_top
+from repro.obs.events import FlightRecorder
+from repro.obs.sampling import (
+    DEFAULT_POLICY, Reservoir, SamplingPolicy, scaled_policy,
+    trace_sampled,
+)
+from repro.obs.timeseries import Series
+from repro.obs.tracing import Tracer
+
+
+class TestTraceSampled:
+    def test_pure_function_of_id_rate_seed(self):
+        for tid in range(100):
+            first = trace_sampled(tid, 0.3, seed=7)
+            assert all(trace_sampled(tid, 0.3, seed=7) == first
+                       for _ in range(5))
+
+    def test_rate_extremes(self):
+        assert all(trace_sampled(t, 1.0) for t in range(50))
+        assert not any(trace_sampled(t, 0.0) for t in range(50))
+
+    def test_rate_is_roughly_honoured(self):
+        kept = sum(trace_sampled(t, 0.2, seed=3) for t in range(5000))
+        assert 0.15 < kept / 5000 < 0.25
+
+    def test_seed_changes_the_sample(self):
+        a = [t for t in range(500) if trace_sampled(t, 0.5, seed=1)]
+        b = [t for t in range(500) if trace_sampled(t, 0.5, seed=2)]
+        assert a != b
+
+
+class TestReservoir:
+    def test_below_capacity_keeps_everything(self):
+        r = Reservoir(8)
+        for i in range(5):
+            assert r.offer(i)
+        assert len(r) == 5
+        assert r.evicted == 0
+        assert r.items() == [0, 1, 2, 3, 4]
+
+    def test_bounded_and_deterministic_over_a_long_stream(self):
+        a, b = Reservoir(16, seed=9), Reservoir(16, seed=9)
+        for i in range(10_000):
+            a.offer(i)
+            b.offer(i)
+        assert len(a) == 16
+        assert a.offered == 10_000
+        assert a.evicted == 10_000 - 16
+        assert a.items() == b.items()
+
+    def test_uniformity_covers_the_early_stream(self):
+        # Algorithm R must not degenerate to newest-wins: early items
+        # survive with probability capacity/offered
+        r = Reservoir(100, seed=4)
+        for i in range(10_000):
+            r.offer(i)
+        assert any(x < 2000 for x in r.items())
+
+    def test_clear_resets(self):
+        r = Reservoir(2)
+        r.offer(1)
+        r.offer(2)
+        r.offer(3)
+        r.clear()
+        assert len(r) == 0 and r.offered == 0 and r.evicted == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            Reservoir(0)
+
+
+class TestSamplingPolicy:
+    def test_default_policy_is_default(self):
+        assert DEFAULT_POLICY.is_default
+        assert SamplingPolicy().is_default
+
+    def test_any_shed_knob_leaves_default(self):
+        assert not SamplingPolicy(trace_sample_rate=0.5).is_default
+        assert not SamplingPolicy(span_reservoir=8).is_default
+        assert not SamplingPolicy(event_reservoir=8).is_default
+        assert not SamplingPolicy(telemetry_stride=2).is_default
+        assert not SamplingPolicy(telemetry_coalesce=True).is_default
+        assert not SamplingPolicy(ledger_top_k=4).is_default
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SamplingPolicy(trace_sample_rate=1.5)
+        with pytest.raises(ValueError):
+            SamplingPolicy(telemetry_stride=0)
+        with pytest.raises(ValueError):
+            SamplingPolicy(span_reservoir=0)
+
+    def test_scaled_policy_preset(self):
+        p = scaled_policy(0.1, reservoir=256, top_k=16, seed=5)
+        assert p.trace_sample_rate == 0.1
+        assert p.span_reservoir == 256
+        assert p.event_reservoir == 256
+        assert p.ledger_top_k == 16
+        assert p.telemetry_coalesce is True
+        assert p.seed == 5
+        assert not p.is_default
+
+    def test_round_trips_through_dict(self):
+        p = scaled_policy(0.25)
+        assert SamplingPolicy(**p.to_dict()) == p
+
+
+class TestTracerSampling:
+    def _tracer(self, policy):
+        clock = [0.0]
+        t = Tracer(clock=lambda: clock[0], enabled=True)
+        t.apply_policy(policy)
+        return t, clock
+
+    def test_head_sampling_drops_whole_traces(self):
+        t, _ = self._tracer(SamplingPolicy(trace_sample_rate=0.5, seed=3))
+        for _ in range(200):
+            with t.span("root"):
+                with t.span("child"):
+                    pass
+        kept_traces = {s.trace_id for s in t.spans}
+        # every kept trace is complete: both its root and its child
+        for tid in kept_traces:
+            names = sorted(s.name for s in t.spans
+                           if s.trace_id == tid)
+            assert names == ["child", "root"]
+        assert t.sampled_out > 0
+        assert t.sampled_out + len(t.spans) == 400
+
+    def test_same_seed_same_decisions(self):
+        outs = []
+        for _ in range(2):
+            t, _ = self._tracer(
+                SamplingPolicy(trace_sample_rate=0.3, seed=11))
+            for _ in range(100):
+                with t.span("op"):
+                    pass
+            outs.append(sorted(s.trace_id for s in t.spans))
+        assert outs[0] == outs[1]
+
+    def test_span_reservoir_bounds_memory(self):
+        t, _ = self._tracer(SamplingPolicy(span_reservoir=32))
+        for _ in range(1000):
+            with t.span("op"):
+                pass
+        assert len(t.spans) == 32
+        assert t.dropped == 1000 - 32
+        assert t.report()["sampled_out"] == 0
+
+
+class TestRecorderOverflow:
+    def test_evicted_events_spill_into_the_reservoir(self):
+        clock = [0.0]
+        rec = FlightRecorder(clock=lambda: clock[0], capacity=16)
+        rec.apply_policy(SamplingPolicy(event_reservoir=8))
+        for i in range(100):
+            clock[0] = float(i)
+            rec.record("c", f"k{i}")
+        assert len(rec.events) == 16
+        snap = rec.snapshot()
+        assert snap["overflow"]["capacity"] == 8
+        assert 0 < snap["overflow"]["kept"] <= 8
+        # overflow holds *evicted* (older) events, in time order
+        times = [e.time for e in rec.overflow]
+        assert times == sorted(times)
+        assert all(t < rec.events[0].time for t in times)
+
+    def test_default_snapshot_shape_has_no_overflow_block(self):
+        rec = FlightRecorder(clock=lambda: 0.0, capacity=4)
+        rec.record("c", "k")
+        assert "overflow" not in rec.snapshot()
+
+
+class TestTelemetryShedding:
+    def test_series_coalesces_identical_samples(self):
+        s = Series("c", "n", {}, "gauge", 64, coalesce=True)
+        s.record(0.0, 5.0)
+        s.record(1.0, 5.0)
+        s.record(2.0, 5.0)
+        s.record(3.0, 7.0)
+        # the standing point's timestamp slid forward to t=2
+        assert list(s.times) == [2.0, 3.0]
+        assert list(s.values) == [5.0, 7.0]
+        assert s.coalesced == 2
+        assert s.to_dict()["coalesced"] == 2
+
+    def test_non_coalescing_series_keeps_every_point(self):
+        s = Series("c", "n", {}, "gauge", 64)
+        for i in range(4):
+            s.record(float(i), 5.0)
+        assert len(s) == 4
+        assert "coalesced" not in s.to_dict()
+
+
+class TestTopKLedger:
+    def _charge(self, ledger, key, cells):
+        ledger.account("vc", key).sent(cells=cells)
+
+    def test_heavy_hitters_survive_eviction(self):
+        ledger = Ledger(top_k=4)
+        for i in range(4):
+            self._charge(ledger, f"heavy{i}", 1000 * (i + 1))
+        for i in range(50):
+            self._charge(ledger, f"light{i}", 1)
+        accounts = ledger.accounts("vc")
+        assert len(accounts) == 4
+        # a still-held heavy hitter is exact: weight >> error
+        heavies = [a for a in accounts if a.key.startswith("heavy")]
+        assert heavies and all(a.weight - a.error >= 1000
+                               for a in heavies)
+        assert ledger.evictions["vc"] > 0
+
+    def test_newcomer_inherits_victim_weight_as_error(self):
+        ledger = Ledger(top_k=2)
+        self._charge(ledger, "a", 10)
+        self._charge(ledger, "b", 20)
+        self._charge(ledger, "c", 1)  # evicts a (weight 10)
+        c = ledger.account("vc", "c")
+        assert c.error == 10.0
+        assert c.weight == 11.0  # inherited 10 + its own 1
+
+    def test_snapshot_marks_approx_rows_and_render_flags_them(self):
+        ledger = Ledger(top_k=2)
+        self._charge(ledger, "a", 10)
+        self._charge(ledger, "b", 20)
+        self._charge(ledger, "c", 1)
+        snap = ledger.snapshot(sim_time=1.0)
+        assert snap["top_k"] == 2
+        rows = {r["key"]: r for r in snap["kinds"]["vc"]}
+        assert rows["c"]["approx"] is True
+        assert rows["b"]["approx"] is False
+        text = render_top(snap, title="x")
+        assert "~c" in text
+        assert "space-saving sketch" in text
+
+    def test_exact_ledger_snapshot_shape_unchanged(self):
+        ledger = Ledger()
+        self._charge(ledger, "a", 10)
+        snap = ledger.snapshot(sim_time=1.0)
+        assert "top_k" not in snap
+        assert "weight" not in snap["kinds"]["vc"][0]
+
+    def test_reconcile_skipped_in_sketch_mode(self):
+        ledger = Ledger(top_k=2)
+        self._charge(ledger, "a", 10)
+        assert ledger.reconcile(None) == []
