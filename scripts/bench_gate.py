@@ -32,6 +32,16 @@ printed next to the percentage table.  Every scenario is additionally
 run through the :class:`ConservationAuditor`; any violation fails the
 gate regardless of the perf verdicts.
 
+On any gate failure the full differential comparison
+(:mod:`repro.obs.diff`) between the baseline — the tracked
+``BENCH_<scenario>.json`` vector + ``profile_top``, backfilled with
+the previous run's archived sidecars when present — and the failing
+run is printed (ranked attribution: span kinds, critical-path
+components, profiler callsites, largest mover first) and written as
+``diff_gate_<scenario>.json`` next to the sidecars, so a regression
+report always names the layer that moved, not just the headline
+number.
+
 Testing hook: ``BENCH_GATE_HANDICAP=<factor>`` scales measured wall
 time (2.0 = pretend the run took twice as long), which is how the test
 suite injects a regression to prove the gate trips.
@@ -52,6 +62,7 @@ _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(_ROOT, "src"))
 
 from repro.core.scenarios import SCENARIOS, build  # noqa: E402
+from repro.obs import diff as run_diff  # noqa: E402
 from repro.obs.audit import ConservationAuditor  # noqa: E402
 from repro.obs.export import dump_observability  # noqa: E402
 from repro.obs.metrics import MetricsRegistry  # noqa: E402
@@ -142,18 +153,23 @@ def measure(scenario: str) -> Dict[str, Any]:
         "peak_player_buffer": peak("player", "buffer_frames"),
         "obs_overhead_pct": round(measure_obs_overhead(scenario), 2),
     }
-    # per-instrument drift: diff the fresh registry report against the
-    # previous run's sidecar, read before dump_observability overwrites
-    prev_metrics = _previous_sidecar_metrics(scenario, out_dir)
+    # the previous run's full archive (metrics + trace + accounting
+    # sidecars), read eagerly before dump_observability overwrites it:
+    # it backfills the BENCH baseline for the failure-path diff
+    prev_archive = _previous_archive(scenario, out_dir)
     instrument_drift = MetricsRegistry.delta(
-        prev_metrics, mits.sim.metrics.report()) \
-        if prev_metrics is not None else None
+        prev_archive.metrics, mits.sim.metrics.report()) \
+        if prev_archive is not None else None
     dump_observability(mits, f"gate_{scenario}", out_dir, profile=profile)
     return {
         "scenario": scenario,
         "metrics": metrics,
         "audit_violations": [v.to_dict() for v in violations],
         "instrument_drift": instrument_drift,
+        "prev_archive": prev_archive,
+        "sidecar_path": os.path.join(out_dir,
+                                     f"metrics_gate_{scenario}.json"),
+        "out_dir": out_dir,
         "profile_top": [
             {"callsite": h["callsite"], "cum_seconds": h["cum_seconds"],
              "calls": h["calls"]}
@@ -161,16 +177,48 @@ def measure(scenario: str) -> Dict[str, Any]:
     }
 
 
-def _previous_sidecar_metrics(scenario: str,
-                              out_dir: str) -> Optional[Dict[str, Any]]:
+def _previous_archive(scenario: str, out_dir: str
+                      ) -> Optional[run_diff.RunArchive]:
     path = os.path.join(out_dir, f"metrics_gate_{scenario}.json")
     if not os.path.exists(path):
         return None
     try:
-        with open(path) as fh:
-            return json.load(fh).get("metrics")
+        return run_diff.load_run(path)
     except (OSError, ValueError):
         return None
+
+
+def explain_failure(scenario: str, baseline_path_: str,
+                    current: Dict[str, Any]) -> None:
+    """Print the differential attribution for one failed scenario.
+
+    The baseline side is the tracked ``BENCH_<scenario>.json`` (metric
+    vector + profile_top) backfilled with the previous gate run's
+    archived sidecars (metrics report, spans, SLO verdicts, ledger)
+    when those exist; the candidate side is the failing run's fresh
+    sidecar set.  The machine-readable payload lands in
+    ``diff_gate_<scenario>.json`` next to the sidecars.
+    """
+    try:
+        base = run_diff.load_run(baseline_path_)
+    except (OSError, ValueError):
+        return
+    base.fill_missing(current.get("prev_archive"))
+    try:
+        cur = run_diff.load_run(current["sidecar_path"])
+    except (OSError, ValueError):
+        return
+    cur.bench = dict(current["metrics"])
+    cur.profile = list(current["profile_top"])
+    payload = run_diff.diff_runs(base, cur)
+    print()
+    print(run_diff.render_attribution_table(payload))
+    diff_path = run_diff.write_diff(payload, current["out_dir"],
+                                    f"gate_{scenario}")
+    print(f"  full differential report: {os.path.relpath(diff_path, _ROOT)}"
+          f"  (render with `python -m repro.obs diff "
+          f"{os.path.relpath(baseline_path_, _ROOT)} "
+          f"{os.path.relpath(current['sidecar_path'], _ROOT)}`)")
 
 
 def judge(scenario: str, base: Dict[str, Any], cur: Dict[str, Any],
@@ -285,6 +333,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         current = measure(name)
         violations = current.pop("audit_violations")
         drift = current.pop("instrument_drift")
+        diff_context = {key: current.pop(key) for key in
+                        ("prev_archive", "sidecar_path", "out_dir")}
+        diff_context["metrics"] = current["metrics"]
+        diff_context["profile_top"] = current["profile_top"]
         if violations:
             print(f"  AUDIT: {len(violations)} conservation violations")
             for v in violations:
@@ -313,8 +365,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(render_diff(name, rows))
         if drift is not None:
             print(render_instrument_drift(drift))
-        if any(verdict == "FAIL" for *_, verdict in rows):
+        if violations or any(verdict == "FAIL" for *_, verdict in rows):
             failed = True
+            explain_failure(name, path, diff_context)
 
     if failed:
         print("\nBENCH GATE: REGRESSION — see FAIL rows above "

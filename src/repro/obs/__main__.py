@@ -11,6 +11,26 @@ Subcommands::
     trace <trace.jsonl> [--top N]
         Span waterfalls / slow-span table only.
 
+    critical <archive> [--trace ID | --p99] [--top N]
+        Critical-path analysis: the longest blocking chain through a
+        trace's span tree, with per-span self-time and slack, plus
+        attribution tables by component and span kind.  The archive is
+        a ``trace_*.jsonl``, a streamed ``obs_*.jsonl``, or a
+        ``metrics_*.json`` (trace sidecar auto-discovered).  Default
+        renders the longest trace; ``--p99`` renders every tail
+        exemplar (root duration at/above the p99); ``--trace ID``
+        renders one trace.
+
+    diff <run_a> <run_b> [--top N] [--json PATH]
+        Differential comparison of two archived runs: bench vector,
+        ranked time attribution (span kinds, critical-path components,
+        profiler callsites), SLO verdict transitions, per-instrument
+        metric movements, ledger top-account shifts.  Accepts
+        ``metrics_*.json`` (sidecars auto-discovered), ``obs_*.jsonl``
+        and ``BENCH_*.json`` archives on either side.  Exits 1 when
+        any *deterministic* delta is present (wall-clock sections
+        never count), so same-seed runs assert reproducibility in CI.
+
     slo <metrics.json>
         SLO table only; exits 1 on violations.
 
@@ -45,6 +65,7 @@ bounded-memory sampling policy.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -138,6 +159,10 @@ def _report(args: argparse.Namespace) -> int:
             print()
             print(f"(time-series sidecar: render with "
                   f"`python -m repro.obs dashboard {ts_path}`)")
+    if spans:
+        from repro.obs.critical import render_attribution
+        print()
+        print(render_attribution(spans, top=args.top))
     if args.strict and not all(r.ok for r in results):
         return 1
     return 0
@@ -151,6 +176,67 @@ def _trace(args: argparse.Namespace) -> int:
         spans, events = load_trace_file(args.trace)
     print(render_traces(spans, events, top=args.top))
     return 0
+
+
+def _load_spans(path: str):
+    """Spans from any archive shape the CLI accepts."""
+    if is_obs_sidecar(path):
+        return load_obs_sidecar(path)["spans"]
+    if path.endswith(".jsonl"):
+        spans, _ = load_trace_file(path)
+        return spans
+    trace_path = find_trace_sidecar(path)
+    if trace_path is None:
+        raise SystemExit(f"critical: no trace sidecar found next to "
+                         f"{path} — pass the trace_*.jsonl directly")
+    spans, _ = load_trace_file(trace_path)
+    return spans
+
+
+def _critical(args: argparse.Namespace) -> int:
+    from repro.obs.critical import (
+        group_by_trace,
+        render_attribution,
+        render_critical_path,
+        select_traces,
+    )
+
+    spans = _load_spans(args.archive)
+    if not spans:
+        print("(no spans in this archive)")
+        return 1
+    trace_ids = select_traces(spans, trace_id=args.trace, tail=args.p99)
+    print(render_attribution(spans, top=args.top))
+    by_trace = group_by_trace(spans)
+    for trace_id in trace_ids:
+        print()
+        print(render_critical_path(by_trace[trace_id]))
+    if args.p99:
+        print()
+        print(f"({len(trace_ids)} tail exemplar(s) at/above the p99 "
+              f"root duration, of {len(by_trace)} traces)")
+    return 0
+
+
+def _diff(args: argparse.Namespace) -> int:
+    from repro.obs.diff import (
+        diff_runs,
+        load_run,
+        render_diff_report,
+        write_diff,
+    )
+
+    payload = diff_runs(load_run(args.run_a), load_run(args.run_b),
+                        top=args.top)
+    print(render_diff_report(payload, top=args.top))
+    if args.json:
+        out_dir, base = os.path.split(os.path.abspath(args.json))
+        name = base[len("diff_"):-len(".json")] \
+            if base.startswith("diff_") and base.endswith(".json") \
+            else os.path.splitext(base)[0]
+        path = write_diff(payload, out_dir, name)
+        print(f"\nwrote {path}")
+    return 1 if payload["deterministic_delta_count"] else 0
 
 
 def _slo(args: argparse.Namespace) -> int:
@@ -309,6 +395,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_trace.add_argument("trace", help="trace_<scenario>.jsonl")
     p_trace.add_argument("--top", type=int, default=10)
     p_trace.set_defaults(func=_trace)
+
+    p_crit = sub.add_parser(
+        "critical", help="critical-path analysis + attribution")
+    p_crit.add_argument("archive", help="trace_*.jsonl, obs_*.jsonl, "
+                        "or metrics_*.json (sidecar auto-discovered)")
+    p_crit.add_argument("--trace", type=int, default=None, metavar="ID",
+                        help="analyse one trace id")
+    p_crit.add_argument("--p99", action="store_true",
+                        help="analyse every tail exemplar (root "
+                        "duration at/above the p99)")
+    p_crit.add_argument("--top", type=int, default=10,
+                        help="attribution rows per table")
+    p_crit.set_defaults(func=_critical)
+
+    p_diff = sub.add_parser(
+        "diff", help="differential comparison of two archived runs")
+    p_diff.add_argument("run_a", help="baseline archive (metrics_*.json"
+                        ", obs_*.jsonl, or BENCH_*.json)")
+    p_diff.add_argument("run_b", help="candidate archive")
+    p_diff.add_argument("--top", type=int, default=10,
+                        help="rows per section")
+    p_diff.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the machine-readable diff "
+                        "payload here")
+    p_diff.set_defaults(func=_diff)
 
     p_slo = sub.add_parser("slo", help="SLO verdicts only")
     p_slo.add_argument("metrics", help="metrics_<scenario>.json")

@@ -38,7 +38,21 @@ from typing import Any, Dict, List, Optional
 
 from repro.obs.audit import ConservationAuditor
 
-__all__ = ["dump_observability", "telemetry_health"]
+__all__ = ["critical_block", "dump_observability", "telemetry_health"]
+
+
+def critical_block(spans) -> Optional[Dict[str, Any]]:
+    """Compact critical-path attribution for a metrics/fin dump.
+
+    Purely simulated-time quantities, so the block is deterministic
+    (same seed ⇒ byte-identical) and safe to diff across runs — it is
+    what lets ``repro.obs diff`` compare critical-path attribution
+    from two metrics sidecars without re-reading their span files.
+    """
+    if not spans:
+        return None
+    from repro.obs.critical import attribution
+    return attribution(spans)
 
 
 def telemetry_health(mits) -> Dict[str, Any]:
@@ -97,6 +111,9 @@ def dump_observability(mits, name: str, out_dir: str,
         "audit": audit_report,
         "telemetry": telemetry_health(mits),
     }
+    crit = critical_block([s.to_dict() for s in sim.tracer.spans])
+    if crit is not None:
+        dump["critical"] = crit
     if watchdog is not None:
         dump["watchdog"] = watchdog.snapshot()
     if profile is not None:

@@ -296,6 +296,15 @@ class MetricsRegistry:
         "after", "delta"}}``; counters and gauges diff their ``value``,
         histograms their ``count``.  Instruments present on only one
         side diff against zero and carry ``"only": "before"|"after"``.
+
+        Monotonic instruments (counters and histogram counts) that go
+        *backwards* mean the instrument was reset between snapshots —
+        a component rebuilt, a registry recycled — not negative work.
+        Such rows carry ``"reset": True`` and their ``delta`` is the
+        ``after`` value (everything accumulated since the reset, the
+        same convention Prometheus ``rate()`` uses), so rates derived
+        from deltas are clamped ≥ 0.  Gauges may legitimately fall
+        and are never treated as resets.
         """
 
         def flatten(report: Mapping[str, Any]) -> Dict[str, Tuple[str, float]]:
@@ -324,5 +333,8 @@ class MetricsRegistry:
                 row["only"] = "after"
             elif key not in a:
                 row["only"] = "before"
+            elif kind in ("counter", "histogram") and av < bv:
+                row["reset"] = True
+                row["delta"] = av
             out[key] = row
         return out

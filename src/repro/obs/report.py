@@ -20,8 +20,10 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.obs.slo import SloResult
 
 __all__ = [
+    "find_accounting_sidecar",
     "find_timeseries_sidecar",
     "find_trace_sidecar",
+    "fmt_seconds",
     "load_metrics_file",
     "load_trace_file",
     "render_metrics_summary",
@@ -94,6 +96,16 @@ def find_timeseries_sidecar(metrics_path: str) -> Optional[str]:
         return None
     candidate = os.path.join(directory,
                              "timeseries_" + base[len("metrics_"):])
+    return candidate if os.path.exists(candidate) else None
+
+
+def find_accounting_sidecar(metrics_path: str) -> Optional[str]:
+    """``metrics_<name>.json`` → sibling ``accounting_<name>.json``."""
+    directory, base = os.path.split(metrics_path)
+    if not base.startswith("metrics_"):
+        return None
+    candidate = os.path.join(directory,
+                             "accounting_" + base[len("metrics_"):])
     return candidate if os.path.exists(candidate) else None
 
 

@@ -197,6 +197,14 @@ class ObsSink:
             fin["audit"] = ConservationAuditor(mits).report()
             if watchdog is not None:
                 fin["watchdog"] = watchdog.snapshot()
+            from repro.obs.export import critical_block
+
+            # attribution over the spans still held in memory — the
+            # sampled view, same population the legacy dump would see
+            crit = critical_block([s.to_dict()
+                                   for s in sim.tracer.spans])
+            if crit is not None:
+                fin["critical"] = crit
             if sampler is not None:
                 ts: Dict[str, Any] = {
                     "interval": sampler.interval,

@@ -330,6 +330,25 @@ class Tracer:
             }
         return agg
 
+    def critical(self, trace_id: Optional[int] = None) -> Dict[str, Any]:
+        """Critical-path analysis of the finished spans.
+
+        With *trace_id*, the full analysis of that one trace (see
+        :func:`repro.obs.critical.analyze_trace`); without, the
+        cross-trace attribution summary — the live-tracer entry point
+        to the same analysis the ``repro.obs critical`` CLI runs on
+        archives.
+        """
+        from repro.obs import critical as _critical
+
+        spans = [s.to_dict() for s in self.spans]
+        if trace_id is not None:
+            group = [s for s in spans if s["trace_id"] == trace_id]
+            if not group:
+                raise ValueError(f"no finished spans for trace {trace_id}")
+            return _critical.analyze_trace(group)
+        return _critical.attribution(spans)
+
     def report(self) -> Dict[str, Any]:
         """Aggregate + raw dump; stable for JSON export."""
         return {

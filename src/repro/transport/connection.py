@@ -11,6 +11,19 @@ ARQ:
 * unacked messages are retransmitted after a timeout, with the window
   bounding how much may be in flight.
 
+The retransmit timeout adapts to the path (Jacobson/Karn, as in RFC
+6298): each new-transmission ack contributes an RTT sample to
+smoothed estimators (``SRTT``/``RTTVAR``), the timeout is
+``SRTT + 4*RTTVAR`` clamped to ``[rto, rto_max]``, and consecutive
+timeouts back the timer off exponentially until an ack makes forward
+progress.  Retransmitted segments never yield samples (Karn's rule),
+so a resent message can't poison the estimate with an ambiguous ack.
+A fixed aggressive timeout measurably hurts here: classroom's 16 KB
+courseware messages serialise for ~86 ms on a 1.5 Mbit/s access link,
+so a constant 50 ms timer fires mid-flight and resends the *entire*
+go-back-N window through AAL5 segmentation — pure duplicate cells
+(see DESIGN.md "Trace-driven performance diagnosis").
+
 Applications register an ``on_message`` callback and call
 :meth:`Connection.send`; everything below that — segmentation,
 retransmission, ordering — is invisible, which is exactly the
@@ -57,7 +70,7 @@ class Connection:
 
     def __init__(self, sim: Simulator, endpoint: DuplexEndpoint, *,
                  window: int = 32, retransmit_timeout: float = 0.05,
-                 max_retries: int = 30,
+                 rto_max: float = 2.0, max_retries: int = 30,
                  on_message: Optional[Callable[[Message], None]] = None,
                  on_error: Optional[Callable[[Exception], None]] = None,
                  name: str = "") -> None:
@@ -66,8 +79,17 @@ class Connection:
         self.sim = sim
         self.endpoint = endpoint
         self.window = window
+        #: floor of the adaptive timeout; also the pre-sample initial RTO
+        self.rto_min = retransmit_timeout
+        self.rto_max = rto_max
         self.rto = retransmit_timeout
         self.max_retries = max_retries
+        #: Jacobson estimators; None until the first RTT sample lands
+        self._srtt: Optional[float] = None
+        self._rttvar = 0.0
+        #: consecutive timeouts without ack progress (exponent of the
+        #: backoff applied on top of the adaptive RTO)
+        self._backoff = 0
         self.on_message = on_message
         #: invoked (instead of raising out of the event loop) when the
         #: peer is declared unreachable after max_retries timeouts
@@ -105,6 +127,9 @@ class Connection:
                                        conn=label)
         self._m_reconnects = metrics.counter("connection", "reconnects",
                                              conn=label)
+        self._m_rto = metrics.gauge("connection", "rto_seconds",
+                                    conn=label)
+        self._m_rto.set(self.rto)
         self._label = label
         sim.register_entity("connection", self)
         # wire receive side: the caller must route incoming AAL5 PDUs
@@ -210,14 +235,46 @@ class Connection:
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
+        # the replacement circuit may have a different path; keep the
+        # smoothed estimate but drop the outage's accumulated backoff
+        self._backoff = 0
         if self._in_flight:
             # resend immediately rather than waiting out the RTO
             self.sim.schedule(0.0, self._on_timeout)
         self._pump()
 
+    def _observe_rtt(self, sample: float) -> None:
+        """Fold one new-transmission RTT sample into the adaptive RTO.
+
+        Standard Jacobson smoothing (RFC 6298 §2): first sample seeds
+        ``SRTT = R``, ``RTTVAR = R/2``; later samples blend with gains
+        1/8 and 1/4.  The timeout is ``SRTT + 4*RTTVAR`` clamped to
+        ``[rto_min, rto_max]`` so a quiet path can never drop the
+        timer below the configured floor nor a congested one push it
+        past the ceiling.
+        """
+        if self._srtt is None:
+            self._srtt = sample
+            self._rttvar = sample / 2.0
+        else:
+            self._rttvar = 0.75 * self._rttvar + 0.25 * abs(
+                self._srtt - sample)
+            self._srtt = 0.875 * self._srtt + 0.125 * sample
+        self.rto = min(max(self._srtt + 4.0 * self._rttvar,
+                           self.rto_min), self.rto_max)
+        self._m_rto.set(self.rto)
+
+    #: cap on the backoff exponent: the timer never exceeds 8× the
+    #: adaptive RTO.  Karn's rule means a fully-retransmitted window
+    #: yields no samples, so an unbounded backoff would ratchet to
+    #: rto_max and crawl through recovery on a genuinely lossy path.
+    BACKOFF_CAP = 3
+
     def _arm_timer(self) -> None:
         if self._timer is None and self._in_flight:
-            self._timer = self.sim.schedule(self.rto, self._on_timeout)
+            exponent = min(self._backoff, self.BACKOFF_CAP)
+            timeout = min(self.rto * (2 ** exponent), self.rto_max)
+            self._timer = self.sim.schedule(timeout, self._on_timeout)
 
     def _on_timeout(self) -> None:
         self._timer = None
@@ -259,6 +316,9 @@ class Connection:
             self._raw_send(msg.encode())
             self.stats.retransmitted += 1
             self._m_retransmits.inc()
+        # exponential backoff: each consecutive timeout doubles the
+        # timer (capped at rto_max) until an ack makes progress
+        self._backoff += 1
         self._arm_timer()
 
     # -- receiving -------------------------------------------------------
@@ -294,7 +354,16 @@ class Connection:
             self._retries.pop(seq, None)
             sent_at = self._sent_at.pop(seq, None)
             if sent_at is not None:
-                self._m_rtt.observe(self.sim.now - sent_at)
+                rtt = self.sim.now - sent_at
+                self._m_rtt.observe(rtt)
+                self._observe_rtt(rtt)
+                # a measurable (never-retransmitted) segment made it:
+                # the backed-off timer may relax to the adaptive RTO.
+                # Acks of retransmitted segments do NOT clear the
+                # backoff (RFC 6298 §5.7) — with Karn discarding their
+                # samples, that would re-arm a known-too-short timer
+                # and starve the estimator forever.
+                self._backoff = 0
             advanced = True
         self._m_window.set(len(self._in_flight))
         if ack > self._send_base:

@@ -139,3 +139,53 @@ class TestGateEndToEnd:
         assert (out / "metrics_gate_quickstart.json").exists()
         assert (out / "timeseries_gate_quickstart.json").exists()
         assert (out / "trace_gate_quickstart.jsonl").exists()
+
+
+class TestFailureAttribution:
+    """Acceptance: a failing gate explains itself — a ranked
+    attribution table naming regressed callsites / span kinds, plus a
+    machine-readable diff artifact."""
+
+    def test_gate_failure_prints_ranked_attribution(
+            self, sandbox, capsys):
+        out = str(sandbox)
+        bench_gate.main(["quickstart", "--update", "--out-dir", out])
+        baseline_file = sandbox / "BENCH_quickstart.json"
+        baseline = json.loads(baseline_file.read_text())
+        baseline["metrics"]["events_run"] = \
+            int(baseline["metrics"]["events_run"] * 1.5)
+        baseline_file.write_text(json.dumps(baseline))
+        capsys.readouterr()
+
+        assert bench_gate.main(
+            ["quickstart", "--no-wall", "--out-dir", out]) == 1
+        report = capsys.readouterr().out
+        assert "ranked attribution" in report
+        assert "callsite" in report
+        assert "span-kind" in report
+        assert "diff_gate_quickstart.json" in report
+
+        diff_path = sandbox / "out" / "diff_gate_quickstart.json"
+        assert diff_path.exists()
+        payload = json.loads(diff_path.read_text())
+        # the attribution names actual code locations and span kinds
+        sources = {row["source"] for row in payload["attribution"]}
+        assert {"callsite", "span-kind"} <= sources
+        callsites = {row["key"] for row in payload["attribution"]
+                     if row["source"] == "callsite"}
+        assert any("." in c for c in callsites)  # Class.method names
+        # the perturbed deterministic vector is itself a counted delta
+        moved = {r["metric"] for r in payload["bench"]
+                 if abs(r["delta"]) > 1e-9}
+        assert "events_run" in moved
+        assert payload["deterministic_delta_count"] >= 1
+
+    def test_passing_gate_stays_quiet(self, sandbox, capsys):
+        out = str(sandbox)
+        bench_gate.main(["quickstart", "--update", "--out-dir", out])
+        capsys.readouterr()
+        assert bench_gate.main(
+            ["quickstart", "--no-wall", "--out-dir", out]) == 0
+        report = capsys.readouterr().out
+        assert "ranked attribution" not in report
+        assert not (sandbox / "out" / "diff_gate_quickstart.json").exists()

@@ -1,0 +1,161 @@
+"""Tests for differential run comparison (repro.obs.diff).
+
+The two acceptance properties: same-seed runs diff to ZERO
+deterministic deltas (the CI determinism smoke job hangs off that),
+and a genuine regression produces a ranked attribution table naming
+the span kinds / callsites / components that moved.
+"""
+
+import copy
+import json
+import os
+
+import pytest
+
+from repro.core.scenarios import build
+from repro.obs.__main__ import main
+from repro.obs.diff import (
+    BENCH_DETERMINISTIC, RunArchive, diff_runs, load_run,
+    render_attribution_table, render_diff_report, write_diff,
+)
+from repro.obs.export import dump_observability
+
+REPO_ROOT = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir)
+
+
+@pytest.fixture(scope="module")
+def same_seed_pair(tmp_path_factory):
+    """Two independent quickstart runs, same seed, archived apart."""
+    paths = []
+    for label in ("a", "b"):
+        out = str(tmp_path_factory.mktemp(f"run_{label}"))
+        run = build("quickstart", accounting=True)
+        run.run_to_horizon()
+        dump_observability(run.mits, "q", out)
+        paths.append(os.path.join(out, "metrics_q.json"))
+    return paths
+
+
+class TestSameSeedIsEquivalent:
+    def test_zero_deterministic_deltas(self, same_seed_pair):
+        a, b = (load_run(p) for p in same_seed_pair)
+        payload = diff_runs(a, b)
+        assert payload["deterministic_delta_count"] == 0
+        assert payload["metrics"] == {}
+        assert payload["slo"]["transitions"] == []
+        assert not payload["slo"]["verdict_changed"]
+        assert all(abs(r["delta_seconds"]) < 1e-9
+                   for r in payload["attribution"])
+
+    def test_cli_exits_zero(self, same_seed_pair, capsys):
+        a, b = same_seed_pair
+        assert main(["diff", a, b]) == 0
+        out = capsys.readouterr().out
+        assert "deterministic deltas: 0" in out
+
+
+class TestRegressionAttribution:
+    def _mutated(self, same_seed_pair, tmp_path):
+        """An 'after' archive with a deliberate regression baked in:
+        more retransmits and a longer streaming span."""
+        src = same_seed_pair[0]
+        with open(src) as fh:
+            payload = json.load(fh)
+        for rows in payload["metrics"]["connection"].values():
+            for row in rows:
+                if row.get("type") == "counter":
+                    row["value"] = row.get("value", 0) + 5
+        mutated = tmp_path / "metrics_mutated.json"
+        mutated.write_text(json.dumps(payload))
+        archive = load_run(str(mutated))
+        # borrow the real span set and stretch one streaming span
+        archive.spans = copy.deepcopy(load_run(src).spans)
+        for span in archive.spans:
+            if span["name"].startswith("streaming"):
+                span["end"] += 1.0
+                span["duration"] = span["end"] - span["start"]
+                break
+        return archive
+
+    def test_deltas_are_named_and_counted(self, same_seed_pair,
+                                          tmp_path):
+        before = load_run(same_seed_pair[0])
+        after = self._mutated(same_seed_pair, tmp_path)
+        payload = diff_runs(before, after)
+        assert payload["deterministic_delta_count"] > 0
+        moved_keys = set(payload["metrics"])
+        assert any(k.startswith("connection.") for k in moved_keys)
+        top = payload["attribution"][0]
+        assert top["source"] in ("span-kind", "critical-path")
+        assert abs(top["delta_seconds"]) == pytest.approx(1.0)
+        rendered = render_attribution_table(payload)
+        assert "ranked attribution" in rendered
+        assert "streaming" in rendered
+
+    def test_full_report_renders(self, same_seed_pair, tmp_path):
+        before = load_run(same_seed_pair[0])
+        after = self._mutated(same_seed_pair, tmp_path)
+        report = render_diff_report(diff_runs(before, after))
+        assert "top instrument movements" in report
+        assert "deterministic deltas:" in report
+
+
+class TestBenchArchives:
+    def test_bench_baseline_loads(self):
+        archive = load_run(os.path.join(REPO_ROOT,
+                                        "BENCH_quickstart.json"))
+        assert archive.bench
+        assert set(BENCH_DETERMINISTIC) <= set(archive.bench)
+        assert archive.profile
+
+    def test_perturbed_bench_vector_is_deterministic_delta(
+            self, tmp_path):
+        src = os.path.join(REPO_ROOT, "BENCH_quickstart.json")
+        with open(src) as fh:
+            payload = json.load(fh)
+        payload["metrics"]["events_run"] += 1000
+        perturbed = tmp_path / "BENCH_quickstart.json"
+        perturbed.write_text(json.dumps(payload))
+        diff = diff_runs(load_run(src), load_run(str(perturbed)))
+        assert diff["deterministic_delta_count"] >= 1
+        moved = {r["metric"] for r in diff["bench"]
+                 if abs(r["delta"]) > 1e-9}
+        assert moved == {"events_run"}
+
+    def test_wall_metrics_never_count_as_deterministic(self, tmp_path):
+        src = os.path.join(REPO_ROOT, "BENCH_quickstart.json")
+        with open(src) as fh:
+            payload = json.load(fh)
+        payload["metrics"]["events_per_sec"] = 1.0
+        payload["metrics"]["wall_seconds"] = 999.0
+        perturbed = tmp_path / "BENCH_quickstart.json"
+        perturbed.write_text(json.dumps(payload))
+        diff = diff_runs(load_run(src), load_run(str(perturbed)))
+        assert diff["deterministic_delta_count"] == 0
+
+
+class TestDiffArtifact:
+    def test_write_diff_names_the_file(self, same_seed_pair, tmp_path):
+        a, b = (load_run(p) for p in same_seed_pair)
+        path = write_diff(diff_runs(a, b), str(tmp_path), "demo")
+        assert os.path.basename(path) == "diff_demo.json"
+        with open(path) as fh:
+            payload = json.load(fh)
+        assert payload["deterministic_delta_count"] == 0
+
+    def test_cli_json_flag_and_exit_code(self, same_seed_pair,
+                                         tmp_path, capsys):
+        src = same_seed_pair[0]
+        with open(src) as fh:
+            payload = json.load(fh)
+        rows = payload["metrics"]["simulator"]["events_run"]
+        rows[0]["value"] += 17
+        mutated = tmp_path / "metrics_m.json"
+        mutated.write_text(json.dumps(payload))
+        out_json = tmp_path / "d.json"
+        assert main(["diff", src, str(mutated),
+                     "--json", str(out_json)]) == 1
+        # the artifact name is canonicalised to diff_<stem>.json
+        assert (tmp_path / "diff_d.json").exists()
+        report = capsys.readouterr().out
+        assert "simulator.events_run" in report

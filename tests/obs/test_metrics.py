@@ -236,3 +236,51 @@ class TestDelta:
 
     def test_empty_reports(self):
         assert MetricsRegistry.delta({}, {}) == {}
+
+    def test_counter_reset_clamps_rate(self):
+        """A counter that went backwards was reset (component rebuilt,
+        registry recycled); delta is the after value — everything
+        accumulated since the reset — never negative."""
+        reg_a = MetricsRegistry()
+        reg_a.counter("link", "drops", link="a->b").inc(100)
+        reg_b = MetricsRegistry()
+        reg_b.counter("link", "drops", link="a->b").inc(7)
+        row = MetricsRegistry.delta(
+            reg_a.report(), reg_b.report())["link.drops{link=a->b}"]
+        assert row["reset"] is True
+        assert row["delta"] == 7.0
+        assert row["delta"] >= 0
+
+    def test_histogram_count_reset_clamps_rate(self):
+        reg_a = MetricsRegistry()
+        for _ in range(5):
+            reg_a.histogram("vc", "delay").observe(0.1)
+        reg_b = MetricsRegistry()
+        reg_b.histogram("vc", "delay").observe(0.1)
+        row = MetricsRegistry.delta(
+            reg_a.report(), reg_b.report())["vc.delay{}"]
+        assert row["reset"] is True
+        assert row["delta"] == 1.0
+
+    def test_gauge_fall_is_not_a_reset(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("player", "buffer", player="p1")
+        gauge.set(8)
+        before = reg.report()
+        gauge.set(2)
+        row = MetricsRegistry.delta(
+            before, reg.report())["player.buffer{player=p1}"]
+        assert "reset" not in row
+        assert row["delta"] == -6.0
+
+    def test_one_sided_rows_never_marked_reset(self):
+        """An instrument absent from one side diffs against zero; the
+        before-only case (after value 0 < before value) must read as
+        a disappearance, not a counter reset."""
+        reg = MetricsRegistry()
+        reg.counter("switch", "received", switch="sw0").inc(9)
+        gone = MetricsRegistry.delta(
+            reg.report(), {})["switch.received{switch=sw0}"]
+        assert gone["only"] == "before"
+        assert "reset" not in gone
+        assert gone["delta"] == -9.0

@@ -227,3 +227,101 @@ class TestTransportMetrics:
         rep = sim.metrics.report()
         assert "connection" in rep
         assert "retransmits" in rep["connection"]
+
+
+class TestAdaptiveRto:
+    """Jacobson RTO: the timeout learns the path instead of firing a
+    fixed 50 ms timer into an 86 ms serialisation delay."""
+
+    def test_first_sample_seeds_estimators(self):
+        sim, net, ca, cb = setup_pair()
+        ca._observe_rtt(0.1)
+        assert ca._srtt == pytest.approx(0.1)
+        assert ca._rttvar == pytest.approx(0.05)
+        # SRTT + 4*RTTVAR = 0.3, above the 50 ms floor
+        assert ca.rto == pytest.approx(0.3)
+
+    def test_rto_clamped_to_floor_and_ceiling(self):
+        sim, net, ca, cb = setup_pair()
+        ca._observe_rtt(1e-6)
+        assert ca.rto == ca.rto_min
+        cb._observe_rtt(10.0)
+        assert cb.rto == cb.rto_max
+
+    def test_smoothing_converges_toward_samples(self):
+        sim, net, ca, cb = setup_pair()
+        for _ in range(50):
+            ca._observe_rtt(0.2)
+        assert ca._srtt == pytest.approx(0.2, rel=1e-3)
+        # variance decays on a steady path; RTO approaches SRTT
+        assert ca.rto < 0.25
+
+    def test_slow_path_stops_retransmitting_after_learning(self):
+        """On a slow access link the first flights may time out, but
+        once samples land the adaptive RTO covers the serialisation
+        delay and retransmits stop growing."""
+        sim, net, ca, cb = setup_pair(access_bps=1.5e6)
+        cb.on_message = lambda m: None
+        for i in range(6):
+            ca.send(Message(type=MessageType.DATA, body=bytes(16384)))
+        sim.run(until=10.0)
+        assert ca.stats.acked == 6
+        early = ca.stats.retransmitted
+        for i in range(6):
+            ca.send(Message(type=MessageType.DATA, body=bytes(16384)))
+        sim.run(until=20.0)
+        assert ca.stats.acked == 12
+        # the learned RTO covers the ~90 ms per-message serialisation:
+        # no new spurious retransmits in the second batch
+        assert ca.stats.retransmitted == early
+        assert ca.rto > 0.05
+
+    def test_backoff_doubles_timer_and_resets_on_progress(self):
+        sim, net, ca, cb = setup_pair()
+        ca._backoff = 3
+        ca._in_flight[0] = Message(type=MessageType.DATA, seq=0,
+                                   body=b"x")
+        ca._sent_at[0] = sim.now
+        ca._arm_timer()
+        # 0.05 * 2**3 = 0.4, under the 2 s ceiling
+        assert ca._timer.time == pytest.approx(sim.now + 0.4)
+        ca._process_ack(1)
+        assert ca._backoff == 0
+
+    def test_ack_of_retransmitted_segment_keeps_backoff(self):
+        """Karn companion rule: a retransmitted segment's ack yields
+        no sample, so it must not relax the backed-off timer either —
+        that combination is what starves the estimator."""
+        sim, net, ca, cb = setup_pair()
+        ca._backoff = 2
+        ca._in_flight[0] = Message(type=MessageType.DATA, seq=0,
+                                   body=b"x")
+        # no _sent_at entry: the segment was retransmitted
+        ca._process_ack(1)
+        assert ca._backoff == 2
+
+    def test_backoff_exponent_is_capped(self):
+        """A fully-retransmitted window yields no Karn samples, so the
+        backoff could ratchet forever; the exponent cap bounds the
+        timer at 8x the adaptive RTO."""
+        sim, net, ca, cb = setup_pair()
+        ca._backoff = 30
+        ca._in_flight[0] = Message(type=MessageType.DATA, seq=0,
+                                   body=b"x")
+        ca._arm_timer()
+        assert ca._timer.time == pytest.approx(
+            sim.now + ca.rto * 2 ** Connection.BACKOFF_CAP)
+
+    def test_backed_off_timer_never_exceeds_rto_max(self):
+        sim, net, ca, cb = setup_pair()
+        ca._observe_rtt(10.0)  # clamps rto to rto_max
+        ca._backoff = 2
+        ca._in_flight[0] = Message(type=MessageType.DATA, seq=0,
+                                   body=b"x")
+        ca._arm_timer()
+        assert ca._timer.time == pytest.approx(sim.now + ca.rto_max)
+
+    def test_rto_gauge_exported(self):
+        sim, net, ca, cb = setup_pair()
+        rows = sim.metrics.report()["connection"]["rto_seconds"]
+        assert {r["value"] for r in rows} == {0.05}
