@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: check test compile smoke bench bench-gate
+.PHONY: check test compile smoke bench bench-gate diff-fidelity
 
 check: test compile smoke
 
@@ -26,3 +26,10 @@ bench:
 # CI passes --no-wall to skip hardware-dependent wall-clock metrics.
 bench-gate:
 	$(PYTHON) scripts/bench_gate.py $(BENCH_GATE_FLAGS)
+
+# differential fidelity gate: every scenario must be byte-identical
+# between the per-cell loop and the cell-train fast path (and, with
+# --hybrid in DIFF_FIDELITY_FLAGS, hybrid must hold its toleranced
+# contract); prints the repro.obs diff attribution table per scenario
+diff-fidelity:
+	$(PYTHON) scripts/diff_fidelity.py $(DIFF_FIDELITY_FLAGS)

@@ -75,6 +75,11 @@ METRIC_SPECS: Tuple[Tuple[str, str, str], ...] = (
     ("wall_seconds", "up", "wall"),
     ("events_run", "drift", "deterministic"),
     ("sim_time", "drift", "deterministic"),
+    # gated against an absolute per-scenario floor (see
+    # MIN_EVENTS_PER_SIM_SEC / --min-events-per-sec), not the baseline:
+    # the deterministic load-per-simulated-second assertion survives
+    # --no-wall because both numerator and denominator are seeded
+    ("events_per_sim_sec", "min", "deterministic"),
     ("peak_queue_depth", "up", "deterministic"),
     ("peak_link_queue", "up", "deterministic"),
     ("peak_player_buffer", "drift", "deterministic"),
@@ -85,6 +90,19 @@ METRIC_SPECS: Tuple[Tuple[str, str, str], ...] = (
 
 #: default ceiling (percent) for the obs-on vs obs-off wall delta
 MAX_OBS_OVERHEAD_PCT = 15.0
+
+#: per-scenario floors for ``events_run / sim_time`` — the scripted
+#: load each scenario must keep scheduling (per-cell-equivalent
+#: events, so the batched fast path is held to the same bar as the
+#: legacy per-cell loop it replaced).  Deterministic given the seed;
+#: set ~10% under the recorded value so only a real loss of simulated
+#: work (a silently skipped stream, an unscheduled classroom) trips
+#: it, not counter jitter from an intended change.
+MIN_EVENTS_PER_SIM_SEC: Dict[str, float] = {
+    "quickstart": 240.0,       # recorded 270.0 ev/sim-sec
+    "classroom": 230.0,        # recorded 258.9
+    "faulty-classroom": 250.0,  # recorded 285.2
+}
 
 
 def baseline_path(scenario: str, out_dir: str) -> str:
@@ -145,6 +163,8 @@ def measure(scenario: str) -> Dict[str, Any]:
     metrics = {
         "events_run": mits.sim.events_run,
         "sim_time": round(mits.sim.now, 6),
+        "events_per_sim_sec": round(mits.sim.events_run / mits.sim.now, 1)
+        if mits.sim.now > 0 else 0.0,
         "wall_seconds": round(wall, 4),
         "events_per_sec": round(mits.sim.events_run / wall, 1)
         if wall > 0 else 0.0,
@@ -223,7 +243,8 @@ def explain_failure(scenario: str, baseline_path_: str,
 
 def judge(scenario: str, base: Dict[str, Any], cur: Dict[str, Any],
           *, tolerance: float, wall_tolerance: float, no_wall: bool,
-          max_obs_overhead: float = MAX_OBS_OVERHEAD_PCT
+          max_obs_overhead: float = MAX_OBS_OVERHEAD_PCT,
+          min_events_per_sec: Optional[float] = None
           ) -> List[Tuple[str, Any, Any, float, str]]:
     """Rows of ``(metric, baseline, current, delta_frac, verdict)``."""
     rows = []
@@ -233,6 +254,17 @@ def judge(scenario: str, base: Dict[str, Any], cur: Dict[str, Any],
             continue
         tol = wall_tolerance if klass == "wall" else tolerance
         b, c = base_m.get(metric), cur_m.get(metric)
+        if direction == "min":
+            # absolute floor: the baseline column shows the floor, and
+            # the verdict ignores the tracked baseline entirely
+            floor = (min_events_per_sec
+                     if min_events_per_sec is not None
+                     else MIN_EVENTS_PER_SIM_SEC.get(scenario))
+            if floor is None or c is None:
+                continue
+            bad = c < floor
+            rows.append((metric, floor, c, 0.0, "FAIL" if bad else "ok"))
+            continue
         if direction == "abs":
             # absolute ceiling, not baseline-relative: wall deltas this
             # small are noise run-to-run, but a blowout must fail even
@@ -315,6 +347,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="fail when full-fidelity observability "
                              "costs more than this percent of wall vs "
                              "obs-off (default 15)")
+    parser.add_argument("--min-events-per-sec", type=float, default=None,
+                        help="absolute floor for events_run/sim_time "
+                             "(per-cell-equivalent events per simulated "
+                             "second; deterministic, so it stays active "
+                             "under --no-wall).  Default: the tracked "
+                             "per-scenario floors in "
+                             "MIN_EVENTS_PER_SIM_SEC")
     parser.add_argument("--out-dir", default=_ROOT,
                         help="directory holding BENCH_*.json "
                              "(default: repo root)")
@@ -361,7 +400,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         rows = judge(name, base, current, tolerance=args.tolerance,
                      wall_tolerance=args.wall_tolerance,
                      no_wall=args.no_wall,
-                     max_obs_overhead=args.max_obs_overhead)
+                     max_obs_overhead=args.max_obs_overhead,
+                     min_events_per_sec=args.min_events_per_sec)
         print(render_diff(name, rows))
         if drift is not None:
             print(render_instrument_drift(drift))

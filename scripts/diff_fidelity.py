@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Differential fidelity check: batched vs per-cell, attributed.
+
+For every named scenario (or the subset given on the command line)
+this runs the scripted load twice — ``fidelity="cell"`` (the legacy
+one-event-per-cell loop) and ``fidelity="batched"`` (the cell-train
+fast path) — and compares the runs three ways:
+
+* byte equality of the canonical snapshots (the contract
+  ``tests/perf/test_equivalence.py`` enforces in CI);
+* the :mod:`repro.obs.diff` differential, whose ranked attribution
+  table is printed per scenario and whose
+  ``deterministic_delta_count`` must be zero;
+* the wall-clock/event-count vector, reported for context (never
+  gated here — hardware noise belongs to bench_gate).
+
+``--hybrid`` additionally compares batched against
+``fidelity="hybrid"`` under the weaker contract that mode carries:
+matching SLO verdict and ledger grand totals within 1%.
+
+The machine-readable payloads land in ``benchmarks/out/`` as
+``diff_fidelity_<scenario>.json``.  Exit status 0 iff every gated
+comparison holds.  Run via ``make diff-fidelity``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List, Optional
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_ROOT, "src"))
+
+from repro.core.scenarios import SCENARIOS, build  # noqa: E402
+from repro.obs.diff import render_attribution_table, write_diff  # noqa: E402
+from repro.obs.equivalence import (  # noqa: E402
+    fidelity_diff,
+    ledger_totals,
+    snapshots_equivalent,
+)
+
+#: hybrid ledger totals may deviate this much, relatively, per total
+HYBRID_LEDGER_TOLERANCE = 0.01
+
+
+def _run(name: str, fidelity: str, **kwargs):
+    t0 = time.perf_counter()
+    run = build(name, fidelity=fidelity, **kwargs)
+    run.run_to_horizon()
+    wall = time.perf_counter() - t0
+    return run.mits.snapshot(), wall
+
+
+def check_scenario(name: str, out_dir: str) -> bool:
+    cell, wall_cell = _run(name, "cell")
+    batched, wall_batched = _run(name, "batched")
+    payload = fidelity_diff(cell, batched, name=name)
+    write_diff(payload, out_dir, f"fidelity_{name}")
+    identical = snapshots_equivalent(cell, batched)
+    deltas = payload["deterministic_delta_count"]
+    speedup = wall_cell / wall_batched if wall_batched > 0 else 0.0
+    print(f"scenario {name}: cell vs batched")
+    print(f"  canonical snapshots : "
+          f"{'byte-identical' if identical else 'DIVERGED'}")
+    print(f"  deterministic deltas: {deltas}")
+    print(f"  events_run          : {cell['events_run']} -> "
+          f"{batched['events_run']} "
+          f"({batched['events_run'] - cell['events_run']:+d} "
+          f"continuation/deferral events)")
+    print(f"  wall (uncontrolled) : {wall_cell:.3f}s -> "
+          f"{wall_batched:.3f}s  ({speedup:.2f}x)")
+    print()
+    print(render_attribution_table(payload))
+    print()
+    return identical and deltas == 0
+
+
+def check_hybrid(name: str, out_dir: str) -> bool:
+    batched, _ = _run(name, "batched", accounting=True)
+    hybrid, _ = _run(name, "hybrid", accounting=True)
+    payload = fidelity_diff(batched, hybrid, name=f"{name}-hybrid")
+    write_diff(payload, out_dir, f"fidelity_{name}_hybrid")
+    verdict_ok = hybrid["slo"]["verdict"] == batched["slo"]["verdict"]
+    totals_b, totals_h = ledger_totals(batched), ledger_totals(hybrid)
+    worst = 0.0
+    for key, want in totals_b.items():
+        got = totals_h.get(key, 0)
+        worst = max(worst, abs(got - want) / max(abs(want), 1.0))
+    ledger_ok = worst <= HYBRID_LEDGER_TOLERANCE
+    print(f"scenario {name}: batched vs hybrid (toleranced contract)")
+    print(f"  SLO verdict         : {batched['slo']['verdict']} -> "
+          f"{hybrid['slo']['verdict']} "
+          f"({'match' if verdict_ok else 'MISMATCH'})")
+    print(f"  ledger worst delta  : {worst * 100:.3f}% "
+          f"(tolerance {HYBRID_LEDGER_TOLERANCE * 100:.0f}%)")
+    print()
+    print(render_attribution_table(payload))
+    print()
+    return verdict_ok and ledger_ok
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff batched fidelity against the per-cell loop.")
+    parser.add_argument("scenarios", nargs="*",
+                        help=f"subset to check (default: all of "
+                             f"{sorted(SCENARIOS)})")
+    parser.add_argument("--hybrid", action="store_true",
+                        help="also check hybrid fidelity against its "
+                             "toleranced contract")
+    parser.add_argument("--out-dir", default=os.path.join(
+        _ROOT, "benchmarks", "out"),
+        help="where diff_fidelity_*.json payloads land")
+    args = parser.parse_args(argv)
+    names = args.scenarios or sorted(SCENARIOS)
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        parser.error(f"unknown scenarios {unknown} "
+                     f"(have: {sorted(SCENARIOS)})")
+    os.makedirs(args.out_dir, exist_ok=True)
+    ok = True
+    for name in names:
+        ok = check_scenario(name, args.out_dir) and ok
+        if args.hybrid:
+            ok = check_hybrid(name, args.out_dir) and ok
+    print("DIFF FIDELITY: " + ("equivalent" if ok else "DIVERGED"))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

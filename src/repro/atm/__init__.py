@@ -17,6 +17,9 @@ with a cell-level discrete-event simulator:
   with per-category priority queueing;
 * :mod:`repro.atm.network` — hosts, VC setup/routing and the
   end-to-end cell relay;
+* :mod:`repro.atm.train` / :mod:`repro.atm.flow` — the batched and
+  flow-level fast paths (``fidelity="batched"`` / ``"hybrid"``; see
+  DESIGN.md §"Fast path & hybrid fidelity");
 * :mod:`repro.atm.topology` — canned topologies, including an
   OCRInet-like metro WAN.
 """
@@ -32,6 +35,8 @@ from repro.atm.qos import (
 )
 from repro.atm.link import Link
 from repro.atm.switch import Switch, VcTableEntry
+from repro.atm.train import CellTrain
+from repro.atm.flow import FlowLane
 from repro.atm.network import AtmNetwork, Host, VirtualCircuit
 
 __all__ = [
@@ -54,6 +59,8 @@ __all__ = [
     "Link",
     "Switch",
     "VcTableEntry",
+    "CellTrain",
+    "FlowLane",
     "AtmNetwork",
     "Host",
     "VirtualCircuit",

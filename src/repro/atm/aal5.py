@@ -118,6 +118,32 @@ class Aal5Sender:
         self.cells_sent += len(cells)
         return cells
 
+    def segment_train(self, payload: bytes,
+                      created_at: float = 0.0) -> "tuple[List[Cell], bytes]":
+        """Like :meth:`segment`, but also returns the CPCS-PDU bytes.
+
+        The batched fast path attaches the PDU to the cell train so the
+        receiving host can reassemble without re-joining the 48-octet
+        payload slices.  Cells and sender counters are identical to
+        :meth:`segment`.
+        """
+        pdu = build_cpcs_pdu(payload)
+        ncells = len(pdu) // PAYLOAD_SIZE
+        vpi, vci, clp = self.vpi, self.vci, self.clp
+        seqno = self._next_seqno
+        cells = []
+        for i in range(ncells):
+            pti = PTI_USER_LAST if i == ncells - 1 else PTI_USER_0
+            hdr = CellHeader(vpi=vpi, vci=vci, pti=pti, clp=clp)
+            cells.append(Cell(header=hdr,
+                              payload=pdu[i * PAYLOAD_SIZE:
+                                          (i + 1) * PAYLOAD_SIZE],
+                              created_at=created_at, seqno=seqno + i))
+        self._next_seqno += ncells
+        self.pdus_sent += 1
+        self.cells_sent += ncells
+        return cells, pdu
+
 
 class Aal5Receiver:
     """Per-VC reassembler.

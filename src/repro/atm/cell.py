@@ -44,7 +44,7 @@ MAX_VPI = 0xFF
 MAX_VCI = 0xFFFF
 
 
-@dataclass
+@dataclass(slots=True)
 class CellHeader:
     """Decoded 5-octet UNI cell header."""
 
@@ -53,6 +53,23 @@ class CellHeader:
     pti: int = PTI_USER_0
     clp: int = 0
     gfc: int = 0
+
+    @classmethod
+    def _unchecked(cls, vpi: int, vci: int, pti: int, clp: int,
+                   gfc: int) -> "CellHeader":
+        """Construct without range validation — switching fast path.
+
+        Only for fields copied from an already-validated header or a
+        VC table entry; skips ``__post_init__`` and its five range
+        checks per relabelled cell.
+        """
+        hdr = cls.__new__(cls)
+        hdr.vpi = vpi
+        hdr.vci = vci
+        hdr.pti = pti
+        hdr.clp = clp
+        hdr.gfc = gfc
+        return hdr
 
     def __post_init__(self) -> None:
         if not 0 <= self.vpi <= MAX_VPI:
@@ -98,7 +115,7 @@ class CellHeader:
         return cls(vpi=vpi, vci=vci, pti=pti, clp=clp, gfc=gfc)
 
 
-@dataclass
+@dataclass(slots=True)
 class Cell:
     """A 53-octet ATM cell plus simulation bookkeeping."""
 

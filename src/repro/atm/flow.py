@@ -1,0 +1,152 @@
+"""Flow-level fidelity: background VCs as rate × duration segments.
+
+In ``fidelity="hybrid"`` mode, traced foreground VCs (video streams,
+conference AV — anything opened directly with ``open_vc``) keep full
+cell-level simulation, while background VCs (the RPC/transport duplex
+pairs under database queries, registration, facilitator chat) are
+collapsed to flow-level: one :class:`FlowLane` per VC computes each
+PDU's delivery time arithmetically from the shaper schedule plus the
+path's cut-through pipeline latency, then applies every per-cell
+counter — link, switch, AAL5, ledger — atomically in a single event.
+
+The arithmetic mirrors the batched fast path on an uncontended path
+(identical shaper calls, per-hop serialization + propagation + fabric
+delay for the last cell), so hybrid timing matches full fidelity
+except under cross-traffic contention on shared trunks — which is the
+±tolerance the differential harness checks, not byte equality.
+
+Outages still bite: a down link or crashed switch along the path eats
+the burst with the same drop accounting the cell path would record, so
+the conservation auditor balances in hybrid mode too.  Per-cell error
+RNGs and policing are bypassed — background flows model capacity and
+load, not wire-level loss; that is what "when hybrid is safe" in
+DESIGN.md is about.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.atm.aal5 import TRAILER_SIZE
+from repro.atm.cell import PAYLOAD_SIZE
+
+__all__ = ["FlowLane"]
+
+
+class _FlowCell:
+    """Stand-in for the last cell of a flow-level PDU: just enough for
+    the host's delivery bookkeeping (send-time key and hop count)."""
+
+    __slots__ = ("seqno", "hops")
+
+    def __init__(self, seqno: int, hops: int) -> None:
+        self.seqno = seqno
+        self.hops = hops
+
+
+class FlowLane:
+    """Flow-level transport for one background VC in hybrid mode."""
+
+    __slots__ = ("vc", "links", "switches", "tail_latency",
+                 "cell_equiv_events")
+
+    def __init__(self, vc, links: List, switches: List) -> None:
+        self.vc = vc
+        self.links = links
+        self.switches = switches
+        # cut-through pipeline: once the last cell departs the shaper it
+        # crosses each hop one serialization + propagation behind the
+        # cells ahead of it, plus each fabric's fixed delay
+        lat = 0.0
+        for link in links:
+            lat += link.cell_time + link.prop_delay
+        for sw in switches:
+            lat += sw.switching_delay
+        self.tail_latency = lat
+        # legacy event cost per cell on this path: the scheduled access
+        # enqueue, finish + delivery per link, one fabric emit per
+        # switch — charged so events_run stays comparable across modes
+        self.cell_equiv_events = 1 + 2 * len(links) + len(switches)
+
+    def send(self, payload: bytes) -> None:
+        """Account the PDU's send side and schedule its delivery."""
+        vc = self.vc
+        src = vc.src
+        sim = src.sim
+        now = sim.now
+        total = len(payload) + TRAILER_SIZE
+        total += (-total) % PAYLOAD_SIZE
+        n = total // PAYLOAD_SIZE
+        sender = vc.sender
+        first_seqno = sender._next_seqno
+        sender._next_seqno += n
+        sender.pdus_sent += 1
+        sender.cells_sent += n
+        vc.stats.pdus_sent += 1
+        vc.stats.bytes_sent += len(payload)
+        vc._m_pdus_sent.inc()
+        vc.acct.sent(units=1, cells=n, nbytes=len(payload))
+        src.acct.sent(units=1, cells=n, nbytes=len(payload))
+        last_seqno = first_seqno + n - 1
+        src._note_send_time(vc.vc_id, last_seqno, now)
+        next_departure = vc.shaper.next_departure
+        d = now
+        for _ in range(n):
+            d = next_departure(now)
+        sim.schedule_at(d + self.tail_latency, self._deliver,
+                        payload, last_seqno, n)
+
+    def _deliver(self, payload: bytes, last_seqno: int, n: int) -> None:
+        """The burst's single event: walk the path, apply per-cell
+        equivalent counters, and hand the PDU to the receive binding."""
+        vc = self.vc
+        sim = vc.src.sim
+        sim.charge_cells(n * self.cell_equiv_events - 1)
+        links = self.links
+        switches = self.switches
+        nswitches = len(switches)
+        cat_name = vc.contract.category.name
+        for i, link in enumerate(links):
+            if link.down:
+                # the whole burst dies at this hop; upstream hops have
+                # already balanced their books
+                link.stats.dropped_down += n
+                link.acct.drop(n)
+                link._m_drops.inc(n)
+                link._metrics.counter(
+                    "link", "drops", link=link._label,
+                    reason="link_down", category=cat_name).inc(n)
+                sim.recorder.record(
+                    "atm", "cell_drop", severity="warning",
+                    link=link._label, reason="link_down",
+                    category=cat_name)
+                return
+            stats = link.stats
+            stats.enqueued += n
+            stats.transmitted += n
+            stats.delivered += n
+            stats.busy_time += link.cell_time * n
+            link._m_enqueued.inc(n)
+            link._m_transmitted.inc(n)
+            if i < nswitches:
+                sw = switches[i]
+                sw.stats.received += n
+                sw._m_received.inc(n)
+                if sw.crashed:
+                    sw.stats.crash_dropped += n
+                    sw._m_crash_dropped.inc(n)
+                    return
+                sw.stats.switched += n
+                sw.stats.emitted += n
+                sw._m_switched.inc(n)
+        dst = vc.dst
+        entry = dst._rx.get(vc.last_vci)
+        if not vc.open or entry is None:
+            dst.unbound_cells += n
+            dst._m_unbound.inc(n)
+            return
+        rx = entry[0]
+        rx.cells_received += n
+        rx.cells_delivered += n
+        rx.pdus_delivered += 1
+        rx._on_pdu(payload, _FlowCell(last_seqno, nswitches))

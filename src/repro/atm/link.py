@@ -19,6 +19,8 @@ from typing import Callable, Deque, List, Optional, Tuple
 from repro.atm.cell import Cell, CELL_SIZE
 from repro.atm.qos import ServiceCategory
 from repro.atm.simulator import Simulator
+from repro.atm.train import CellTrain
+from repro.obs.accounting import NULL_ACCOUNT
 
 CELL_BITS = CELL_SIZE * 8
 
@@ -87,12 +89,20 @@ class Link:
         #: fault injection: link outage — while down, arriving and
         #: in-flight cells are lost and the transmitter is parked
         self._down = False
+        #: outage edges, for deciding the fate of train cells whose
+        #: serialization window a transition bisected: time of the
+        #: current outage's onset, and the last closed (down, up) span
+        self._down_since = 0.0
+        self._last_outage: Optional[Tuple[float, float]] = None
         #: fault injection: extra per-cell propagation jitter, uniform
         #: in [0, _jitter) seconds (seeded); can reorder cells, which
         #: the AAL5 CRC turns into detected frame loss upstream
         self._jitter = 0.0
         self._jitter_rng: Optional[random.Random] = None
         self.sink: Optional[Callable[[Cell], None]] = None
+        #: train-aware sink (same far end as ``sink``); when absent,
+        #: arriving trains are expanded back into per-cell events
+        self.sink_train: Optional[Callable[[CellTrain], None]] = None
         #: per-category FIFO of (cell, category, enqueue_time); the
         #: timestamp feeds queue-residency accounting in the ledger
         self._queues: List[Deque[Tuple[Cell, ServiceCategory, float]]] = [
@@ -100,6 +110,19 @@ class Link:
         ]
         self._queued = 0
         self._busy = False
+        #: transmitter clock: the time the serializer frees up, shared
+        #: by the per-cell path and the arithmetic train fast path so
+        #: the two can interleave without overbooking link capacity
+        self._free_at = 0.0
+        #: cells committed to the transmitter as trains and not yet
+        #: finished — counted by ``in_service`` so buffer conservation
+        #: holds at every event boundary
+        self._train_inflight = 0
+        #: service-start times of committed train cells that have not
+        #: started yet — replays the per-cell path's queue-occupancy
+        #: gauge excursions (each legacy cell visits the queue between
+        #: its arrival and its service start)
+        self._future_starts: Deque[float] = deque()
         self.stats = LinkStats()
         #: bandwidth reserved by connection admission (bits/s)
         self.reserved_bps = 0.0
@@ -162,8 +185,12 @@ class Link:
         if down == self._down:
             return
         self._down = down
-        if not down and not self._busy and self._queued:
-            self._start_transmission()
+        if down:
+            self._down_since = self.sim.now
+        else:
+            self._last_outage = (self._down_since, self.sim.now)
+            if not self._busy and self._queued:
+                self._start_transmission()
 
     def set_jitter(self, jitter: float, seed: int = 0) -> None:
         """Add (or clear) seeded uniform propagation jitter."""
@@ -183,8 +210,10 @@ class Link:
 
     @property
     def in_service(self) -> int:
-        """1 while a cell is being serialized on the transmitter."""
-        return 1 if self._busy else 0
+        """Cells committed to the transmitter and not yet finished:
+        1 while a per-cell transmission is serializing, plus every cell
+        of any train in arithmetic flight."""
+        return (1 if self._busy else 0) + self._train_inflight
 
     def enqueue(self, cell: Cell, category: ServiceCategory = ServiceCategory.UBR) -> bool:
         """Offer a cell for transmission.  Returns False when dropped.
@@ -261,7 +290,15 @@ class Link:
         self._busy = True
         tx = self.cell_time
         self.stats.busy_time += tx
-        self.sim.schedule(tx, self._finish_transmission, cell)
+        # serialize after any train still arithmetically in flight; in
+        # pure per-cell runs _free_at is always <= now, so this reduces
+        # to the legacy schedule(tx) with bit-identical timestamps
+        start = self._free_at
+        now = self.sim.now
+        if start < now:
+            start = now
+        self._free_at = start + tx
+        self.sim.schedule_at(start + tx, self._finish_transmission, cell)
 
     def _finish_transmission(self, cell: Cell) -> None:
         self.stats.transmitted += 1
@@ -285,6 +322,208 @@ class Link:
             self.stats.dropped_no_sink += 1
             self._count_drop("no_sink", "any")
         self._start_transmission()
+
+    # -- cell-train fast path --------------------------------------------
+
+    def commit_train(self, train: CellTrain) -> None:
+        """Scheduled entry point for a train commit (first departure due)."""
+        self.enqueue_train(train)
+
+    def enqueue_train(self, train: CellTrain) -> int:
+        """Offer a whole train to the transmitter.
+
+        Returns the number of cells committed arithmetically (0 when
+        the train was expanded back into exact per-cell events).
+
+        The fast path is taken only when it is provably equivalent to
+        per-cell processing: transmitter idle or train-only backlog, no
+        armed loss/error/jitter RNG (those draw once per transmitted
+        cell — the stream must be preserved), a train-aware sink, and
+        room in the buffer.  Everything else falls back to scheduling
+        the legacy ``enqueue`` per cell at its exact departure time.
+
+        **Horizon rule.**  Every pending event fires at some time
+        ``H`` or later, and an event at time ``t`` can only create new
+        departures at ``t`` or later, so departures *strictly before*
+        ``H`` are final: no cross-traffic can still slip between them,
+        and the wire schedule computed here is exactly what the
+        per-cell path would have produced.  Cells due at or after
+        ``H`` are split off and re-committed when their time comes —
+        by then any interleaving traffic has committed ahead of them.
+        """
+        cells = train.cells
+        n = len(cells)
+        if (self._down or self._busy or self._queued
+                or self._error_rng is not None
+                or self._jitter_rng is not None
+                or self.sink_train is None
+                or n + self._train_inflight > self.buffer_cells):
+            self._expand_train(train)
+            return 0
+        sim = self.sim
+        times = train.times
+        horizon = sim._next_event_time()
+        if horizon is not None and times[n - 1] >= horizon:
+            now = sim.now
+            # a departure is safe if it precedes every pending event
+            # (nothing can still commit ahead of it) or is already due
+            # (this commit is the earliest event, so any same-time
+            # rival enqueues after us — legacy order)
+            k = 0
+            while k < n and (times[k] < horizon or times[k] <= now):
+                k += 1
+            if k == 0:
+                # inline-forwarded train whose first departure lies at
+                # or beyond the next pending event: cross-traffic with
+                # earlier departures may still commit — wait until due.
+                # The deferral keeps this event's seq: among equal
+                # timestamps the legacy per-cell events it stands for
+                # were sequenced with THIS commit attempt, so a rival
+                # scheduled later must not overtake it
+                sim.reschedule_at(times[0], sim.current_seq,
+                                  self.commit_train, train)
+                return 0
+            if k < n:
+                rest = CellTrain(cells[k:], train.category, times[k:],
+                                 train.pdu, charged=train.charged)
+                del cells[k:]
+                del times[k:]
+                train.pdu = None
+                sim.reschedule_at(rest.times[0], sim.current_seq,
+                                  self.commit_train, rest)
+                n = k
+        tx = self.cell_time
+        prop = self.prop_delay
+        stats = self.stats
+        stats.enqueued += n
+        self._m_enqueued.inc(n)
+        acct = self.acct
+        ledger_on = acct is not NULL_ACCOUNT
+        free = self._free_at
+        fs = self._future_starts
+        occ_max = 0
+        for i in range(n):
+            d = times[i]
+            start = free if free > d else d
+            if ledger_on:
+                acct.dwell(start - d)
+            free = start + tx
+            times[i] = free + prop
+            while fs and fs[0] <= d:
+                fs.popleft()
+            fs.append(start)
+            if len(fs) > occ_max:
+                occ_max = len(fs)
+        stats.busy_time += tx * n
+        self._free_at = free
+        self._train_inflight += n
+        # the legacy path walks every cell through the queue between
+        # arrival and service start; replay the same gauge excursion
+        # (peak depth seen, then drained) so snapshots stay identical
+        self._m_occupancy.set(occ_max)
+        self._m_occupancy.set(0)
+        sim.schedule_at(times[0], self._deliver_train, train)
+        if train.charged:
+            sim.charge_cells(n - 1)
+        return n
+
+    def _expand_train(self, train: CellTrain) -> None:
+        """Re-schedule a train as exact legacy per-cell enqueue events."""
+        sim = self.sim
+        now = sim.now
+        enqueue = self.enqueue
+        cat = train.category
+        cells = train.cells
+        times = train.times
+        for i in range(len(cells)):
+            t = times[i]
+            sim.schedule_at(t if t > now else now, enqueue, cells[i], cat)
+
+    def _deliver_train(self, train: CellTrain) -> None:
+        """Fires at the train's first far-end arrival (``times`` holds
+        arrivals).  Resolves the wire fate of every cell whose finish
+        precedes the next pending event — by the horizon rule nothing
+        can change link state before then — and hands the survivors to
+        the train sink in one call.  Cells finishing at or beyond the
+        horizon are re-delivered when their arrival comes round, so a
+        fault or error-RNG arming event never bisects a decided batch.
+        """
+        sim = self.sim
+        times = train.times
+        cells = train.cells
+        n = len(cells)
+        prop = self.prop_delay
+        horizon = sim._next_event_time()
+        if n > 1 and horizon is not None and times[n - 1] - prop >= horizon:
+            now = sim.now
+            k = 1
+            while k < n and (times[k] - prop < horizon
+                             or times[k] - prop <= now):
+                k += 1
+            rest = CellTrain(cells[k:], train.category, times[k:],
+                             train.pdu, charged=train.charged)
+            del cells[k:]
+            del times[k:]
+            train.pdu = None
+            # re-delivery inherits this event's seq for the same reason
+            # commit continuations do: the legacy finish events for the
+            # remaining cells were sequenced with this delivery
+            sim.reschedule_at(rest.times[0], sim.current_seq,
+                              self._deliver_train, rest)
+            n = k
+        self._train_inflight -= n
+        stats = self.stats
+        stats.transmitted += n
+        self._m_transmitted.inc(n)
+        sim.charge_cells(n - 1)
+        outage = self._last_outage
+        if not self._down and (outage is None or outage[1] <= times[0] - prop):
+            if self._jitter_rng is None and self._error_rng is None:
+                stats.delivered += n
+                self.sink_train(train)
+                return
+        self._deliver_slow(train)
+
+    def _deliver_slow(self, train: CellTrain) -> None:
+        """Per-cell fate for a delivery window a fault event touched:
+        an outage edge, or an error/jitter RNG armed mid-flight.  Each
+        cell is judged by the link state at its own finish instant,
+        exactly as the per-cell ``_finish_transmission`` would have."""
+        stats = self.stats
+        prop = self.prop_delay
+        down_since = self._down_since
+        outage = self._last_outage
+        err_rng = self._error_rng
+        err_rate = self._error_rate
+        jit_rng = self._jitter_rng
+        survivors = []
+        surv_times = []
+        for cell, arr in zip(train.cells, train.times):
+            finish = arr - prop
+            if (self._down and finish > down_since) or \
+                    (outage is not None
+                     and outage[0] < finish <= outage[1]):
+                stats.dropped_down += 1
+                stats.dropped_down_wire += 1
+                self._count_drop("link_down", "any")
+            elif err_rng is not None and err_rng.random() < err_rate:
+                stats.dropped_errors += 1
+                self._count_drop("error", "any")
+            elif jit_rng is not None:
+                stats.delivered += 1
+                if self.sink is not None:
+                    self.sim.schedule_at(
+                        finish + (prop + jit_rng.uniform(0.0, self._jitter)),
+                        self.sink, cell)
+            else:
+                stats.delivered += 1
+                survivors.append(cell)
+                surv_times.append(arr)
+        if survivors:
+            self.sink_train(CellTrain(
+                survivors, train.category, surv_times,
+                train.pdu if len(survivors) == len(train.cells) else None,
+                charged=train.charged))
 
     def utilization(self) -> float:
         """Fraction of elapsed simulated time the transmitter was busy."""

@@ -29,7 +29,7 @@ from repro.obs.tracing import Tracer
 _CALLBACK_BUCKETS = tuple(1e-7 * 4 ** i for i in range(10))
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A scheduled callback.  Ordered by (time, seq) for determinism."""
 
@@ -76,6 +76,14 @@ class Simulator:
         #: a TelemetrySampler attached via its start(); schedule() wakes
         #: it from dormancy when new work arrives (see obs/timeseries)
         self._sampler: Optional[Any] = None
+        #: per-cell-equivalent events credited by the *currently running*
+        #: callback via charge_cells() — lets batched handlers (one event
+        #: for a whole cell train) keep events_run and profiler call
+        #: counts comparable with the legacy one-event-per-cell path
+        self.event_extra = 0
+        #: heap seq of the event currently executing — the tie-break
+        #: identity batched continuations inherit via reschedule_at()
+        self.current_seq: Optional[int] = None
         self._m_events = self.metrics.counter("simulator", "events_run")
         self._m_scheduled = self.metrics.counter("simulator", "events_scheduled")
         self._m_depth = self.metrics.gauge("simulator", "queue_depth")
@@ -98,7 +106,42 @@ class Simulator:
         """Schedule *callback(*args)* to run *delay* seconds from now."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        ev = Event(self._now + delay, next(self._seq), callback, args)
+        return self._push(self._now + delay, callback, args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule *callback* at absolute simulated *time*.
+
+        The event fires at exactly *time* — not ``now + (time - now)``,
+        whose round-trip through float subtraction can land one ULP
+        off.  The batched fast path relies on this: arithmetic cell
+        times and event timestamps must be the same floats for the
+        differential harness to see byte-identical snapshots.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule into the past (time={time}, now={self._now})")
+        return self._push(time, callback, args)
+
+    def reschedule_at(self, time: float, seq: Optional[int],
+                      callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule *callback* at *time*, inheriting tie-break *seq*.
+
+        The batched fast path re-schedules the un-final remainder of a
+        cell train as a continuation event.  Among equal timestamps
+        the heap breaks ties by seq, and the legacy per-cell events a
+        continuation stands for were sequenced when the train was
+        first scheduled — so the continuation must compete with that
+        original seq, not a fresh one, or a rival train scheduled
+        after it (higher seq) but due at the same instant would
+        overtake cells it should queue behind.  ``seq=None`` falls
+        back to a fresh sequence number.
+        """
+        if seq is None:
+            return self.schedule_at(time, callback, *args)
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule into the past (time={time}, now={self._now})")
+        ev = Event(time, seq, callback, args)
         heapq.heappush(self._queue, ev)
         self._m_scheduled.inc()
         self._m_depth.set(len(self._queue))
@@ -107,9 +150,29 @@ class Simulator:
             sampler.wake()
         return ev
 
-    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
-        """Schedule *callback* at absolute simulated *time*."""
-        return self.schedule(time - self._now, callback, *args)
+    def _push(self, time: float, callback: Callable[..., Any], args: tuple) -> Event:
+        ev = Event(time, next(self._seq), callback, args)
+        heapq.heappush(self._queue, ev)
+        self._m_scheduled.inc()
+        self._m_depth.set(len(self._queue))
+        sampler = self._sampler
+        if sampler is not None and sampler.dormant:
+            sampler.wake()
+        return ev
+
+    def charge_cells(self, extra: int) -> None:
+        """Credit *extra* per-cell-equivalent events to the running event.
+
+        Batched handlers process a whole cell train in one callback;
+        charging the equivalent legacy event count keeps ``events_run``
+        (and everything derived from it: bench vectors, the perf floor,
+        profiler call counts) comparable across fidelity modes.
+        """
+        if extra <= 0:
+            return
+        self._events_run += extra
+        self._m_events.inc(extra)
+        self.event_extra += extra
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run events in order.
@@ -135,6 +198,7 @@ class Simulator:
                 return self._now
             heapq.heappop(self._queue)
             self._now = ev.time
+            self.current_seq = ev.seq
             self._execute(ev)
             count += 1
             if max_events is not None and count >= max_events:

@@ -1,0 +1,70 @@
+"""Cell trains: one AAL5 frame's cells batched into one unit of work.
+
+The legacy event loop schedules ~6 events per cell (enqueue, finish,
+deliver at each hop); a 342-cell courseware PDU costs ~2k events.  A
+:class:`CellTrain` carries the whole frame's contiguous cells plus a
+parallel list of per-cell times, so each pipeline stage (link
+transmitter, switch fabric, receiving host) handles the burst in ONE
+scheduled callback while still computing every per-cell timestamp and
+counter with the exact arithmetic the per-cell path would have used.
+
+The times list is mutated in place as the train moves:
+
+========================  =========================================
+stage                     ``times[i]`` holds
+========================  =========================================
+host commit               per-cell shaper departure ``d_i``
+after link fast path      per-cell far-end arrival ``f_i + prop``
+after switch relabel      per-cell fabric exit ``a_i + sw_delay``
+                          (= departure offered to the next link)
+========================  =========================================
+
+Each stage either consumes the train whole (fast path) or *expands* it
+back into per-cell events when exact legacy semantics require it
+(armed loss/jitter RNGs, a busy or backlogged transmitter, policing
+violations) — the expansion is byte-identical to the per-cell path, so
+equivalence is never approximated where faults are in play.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.atm.cell import Cell
+from repro.atm.qos import ServiceCategory
+
+__all__ = ["CellTrain"]
+
+
+class CellTrain:
+    """A contiguous burst of cells from one AAL5 CPCS-PDU.
+
+    ``pdu`` optionally keeps the sender-side CPCS-PDU bytes so the
+    receiving host can reassemble without re-joining 48-octet slices
+    (the payload bytes are immutable end to end; only headers are
+    relabelled in flight).
+    """
+
+    __slots__ = ("cells", "category", "times", "pdu", "charged")
+
+    def __init__(self, cells: List[Cell], category: ServiceCategory,
+                 times: List[float], pdu: Optional[bytes] = None, *,
+                 charged: bool = True) -> None:
+        self.cells = cells
+        self.category = category
+        self.times = times
+        self.pdu = pdu
+        #: whether link commits bill per-cell enqueue equivalents to the
+        #: event loop: True for host-committed trains (the legacy path
+        #: scheduled one enqueue event per cell), False once a switch
+        #: forwards the train (the legacy switch enqueued inline, free)
+        self.charged = charged
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        head = self.cells[0].header if self.cells else None
+        return (f"CellTrain(n={len(self.cells)}, vci="
+                f"{head.vci if head else '?'}, "
+                f"category={self.category.name})")

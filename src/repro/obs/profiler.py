@@ -138,6 +138,11 @@ class LoopProfiler:
 
     def _profiled_execute(self, ev) -> None:
         callsite = callsite_name(ev.callback)
+        sim = self._sim
+        # batched handlers credit per-cell-equivalent events via
+        # Simulator.charge_cells; bill them to this callsite so call
+        # counts stay comparable with per-cell baselines
+        base_extra = sim.event_extra
         frame = [callsite, self._clock(), 0.0]
         self._stack.append(frame)
         try:
@@ -150,10 +155,13 @@ class LoopProfiler:
             stats = self._stats.get(callsite)
             if stats is None:
                 stats = self._stats[callsite] = CallsiteStats(callsite)
-            stats.calls += 1
+            extra = sim.event_extra - base_extra
+            if extra:
+                sim.event_extra = base_extra
+            stats.calls += 1 + extra
             stats.cum_seconds += elapsed
             stats.self_seconds += elapsed - frame[2]
-            self.events += 1
+            self.events += 1 + extra
 
     # -- reporting ---------------------------------------------------------
 

@@ -1,0 +1,73 @@
+"""Chaos coverage for the cell-train fast path.
+
+The batched event loop must not merely survive fault plans — it must
+experience them *identically* to the per-cell loop it replaced.  For
+each canned plan (the full ``classroom-chaos`` mix and the
+``link-flaps`` random outage storm) the Course-On-Demand flow runs
+under both fidelities and the test asserts:
+
+* zero conservation violations under batching (``run_course`` already
+  asserts this on exit for every run it returns);
+* identical fault fingerprints: the FlightRecorder's injected/cleared
+  event sequence — times, fault kinds, targets, ids — matches the
+  per-cell run exactly, so batching neither reorders nor swallows an
+  injection;
+* identical damage: SLO verdict, per-layer drop totals, retransmit and
+  recovery counters all agree, because the horizon rule expands any
+  batch a fault window touches back into exact per-cell semantics.
+"""
+
+from repro.faults import PLANS
+
+from tests.faults.conftest import run_course
+
+
+def _fingerprints(run, kind):
+    return [(e.time, e.attrs.get("fault"), e.attrs.get("target"),
+             e.attrs.get("fault_id"))
+            for e in run.recorder.by_kind(kind)
+            if e.component == "faults"]
+
+
+def _both_fidelities(plan_name, **kwargs):
+    return (run_course(PLANS[plan_name](), fidelity="cell", **kwargs),
+            run_course(PLANS[plan_name](), fidelity="batched", **kwargs))
+
+
+class TestChaosFidelity:
+    def test_classroom_chaos_fingerprints_match_per_cell(self):
+        cell, batched = _both_fidelities("classroom-chaos")
+        assert _fingerprints(batched, "injected") \
+            == _fingerprints(cell, "injected")
+        assert _fingerprints(batched, "cleared") \
+            == _fingerprints(cell, "cleared")
+        assert batched.audit() == []
+        # same damage, same verdict — not merely "both degraded"
+        for component, name in (("link", "drops_total"),
+                                ("connection", "retransmits"),
+                                ("rpc", "retries"),
+                                ("player", "frames_concealed")):
+            assert batched.metric_total(component, name) \
+                == cell.metric_total(component, name), (component, name)
+        assert batched.mits.snapshot()["slo"]["verdict"] \
+            == cell.mits.snapshot()["slo"]["verdict"]
+
+    def test_link_flaps_fingerprints_match_per_cell(self):
+        cell, batched = _both_fidelities("link-flaps")
+        assert _fingerprints(batched, "injected") \
+            == _fingerprints(cell, "injected")
+        assert batched.audit() == []
+        assert batched.metric_total("link", "drops_total") \
+            == cell.metric_total("link", "drops_total")
+        assert batched.metric_total("connection", "retransmits") \
+            == cell.metric_total("connection", "retransmits")
+        assert batched.mits.snapshot()["slo"]["verdict"] \
+            == cell.mits.snapshot()["slo"]["verdict"]
+
+    def test_chaos_plans_really_bite(self):
+        """Guard against vacuous equality: both plans must actually
+        drop cells under batching, proving the fast path carried the
+        traffic straight through the fault windows."""
+        for plan_name in ("classroom-chaos", "link-flaps"):
+            run = run_course(PLANS[plan_name](), fidelity="batched")
+            assert run.metric_total("link", "drops_total") > 0, plan_name

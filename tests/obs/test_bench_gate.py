@@ -76,6 +76,40 @@ class TestJudge:
                                        events_per_sec=1.0), no_wall=True)
         assert "wall_seconds" not in v and "events_per_sec" not in v
 
+    def test_events_per_sim_sec_floor_is_absolute(self):
+        """The deterministic load floor: judged against the floor, not
+        the baseline, and active regardless of wall settings."""
+        cur = self.current(events_per_sim_sec=250.0)
+        ok = self.verdicts(cur, min_events_per_sec=200.0)
+        assert ok["events_per_sim_sec"] == "ok"
+        bad = self.verdicts(cur, min_events_per_sec=300.0)
+        assert bad["events_per_sim_sec"] == "FAIL"
+        # stays active under --no-wall: the metric is seeded, not timed
+        bad = self.verdicts(cur, min_events_per_sec=300.0, no_wall=True)
+        assert bad["events_per_sim_sec"] == "FAIL"
+
+    def test_floor_defaults_to_per_scenario_table(self):
+        rows = bench_gate.judge(
+            "classroom", self.BASE,
+            self.current(events_per_sim_sec=1.0),
+            tolerance=0.10, wall_tolerance=0.50, no_wall=True)
+        verdicts = {metric: verdict for metric, *_, verdict in rows}
+        assert verdicts["events_per_sim_sec"] == "FAIL"
+        # unknown scenario + no override: no floor row at all
+        rows = bench_gate.judge(
+            "s", self.BASE, self.current(events_per_sim_sec=1.0),
+            tolerance=0.10, wall_tolerance=0.50, no_wall=True)
+        assert "events_per_sim_sec" not in {m for m, *_ in rows}
+
+    def test_named_scenario_floors_sit_under_recorded_values(self):
+        """The tracked floors must exist for every named scenario and
+        be honest — below the recorded events/sim-sec, not aspirational
+        numbers the gate could never meet."""
+        from repro.core.scenarios import SCENARIOS
+        assert set(bench_gate.MIN_EVENTS_PER_SIM_SEC) == set(SCENARIOS)
+        for floor in bench_gate.MIN_EVENTS_PER_SIM_SEC.values():
+            assert floor > 0
+
     def test_metric_missing_from_baseline_is_new_not_fail(self):
         base = {"metrics": {k: v for k, v in self.BASE["metrics"].items()
                             if k != "peak_player_buffer"}}

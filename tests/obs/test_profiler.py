@@ -53,6 +53,27 @@ class TestAttribution:
         assert stats["busy"].cum_seconds > 0
         assert stats["busy"].self_seconds <= stats["busy"].cum_seconds
 
+    def test_charged_cells_weight_the_call_count(self):
+        """Batched handlers process a whole cell train in one callback
+        and bill the per-cell equivalents via charge_cells; the
+        profiler must report the legacy-comparable count, not 1."""
+        sim = Simulator()
+        profiler = LoopProfiler().install(sim)
+
+        def batch_handler():
+            sim.charge_cells(4)
+
+        sim.schedule(0.0, batch_handler)
+        sim.schedule(1.0, busy)
+        sim.run()
+        stats = {s.callsite: s for s in profiler.hotspots(top=None)}
+        name = "TestAttribution.test_charged_cells_weight_the_call_count" \
+               ".<locals>.batch_handler"
+        assert stats[name].calls == 5
+        assert stats["busy"].calls == 1  # unweighted neighbours intact
+        assert profiler.events == 6
+        assert sim.events_run == 6  # simulator agrees with the profiler
+
     def test_lambdas_get_a_name(self):
         sim = Simulator()
         profiler = LoopProfiler().install(sim)
