@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: check test compile smoke bench bench-gate diff-fidelity
+.PHONY: check test compile smoke bench bench-gate diff-fidelity fleet
 
 check: test compile smoke
 
@@ -26,6 +26,13 @@ bench:
 # CI passes --no-wall to skip hardware-dependent wall-clock metrics.
 bench-gate:
 	$(PYTHON) scripts/bench_gate.py $(BENCH_GATE_FLAGS)
+
+# fleet run: N scenario shards across a multiprocessing pool, merged
+# into one fleet archive (benchmarks/out/fleet/fleet_*.json) with
+# per-shard wall/RSS/overhead attribution; exits 1 on merged audit
+# violations.  `make fleet FLEET_FLAGS="--shards 8 --seed 2024"`.
+fleet:
+	$(PYTHON) scripts/fleet.py $(FLEET_FLAGS)
 
 # differential fidelity gate: every scenario must be byte-identical
 # between the per-cell loop and the cell-train fast path (and, with

@@ -86,6 +86,14 @@ METRIC_SPECS: Tuple[Tuple[str, str, str], ...] = (
     # gated against the --max-obs-overhead absolute ceiling, not the
     # baseline: what full-fidelity observability costs vs obs-off
     ("obs_overhead_pct", "abs", "wall"),
+    # process peak RSS at the end of the scenario's gate run (KiB on
+    # Linux) — the memory axis of ROADMAP item 3's sessions vs
+    # events/sec vs RSS extrapolation curve.  ru_maxrss is a process
+    # high-water mark, so within one gate invocation later scenarios
+    # inherit the peak of earlier ones; the trend across PRs is the
+    # signal, hence class "wall" (machine-dependent, skipped by
+    # --no-wall in CI).
+    ("peak_rss_kb", "up", "wall"),
 )
 
 #: default ceiling (percent) for the obs-on vs obs-off wall delta
@@ -140,6 +148,15 @@ def measure_obs_overhead(scenario: str, pairs: int = 3) -> float:
     return best or 0.0
 
 
+def _peak_rss_kb() -> int:
+    """Process peak RSS so far (KiB on Linux; 0 where unavailable)."""
+    try:
+        import resource
+    except ImportError:
+        return 0
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
 def measure(scenario: str) -> Dict[str, Any]:
     """Run one scenario to its horizon and extract the metric vector."""
     handicap = float(os.environ.get("BENCH_GATE_HANDICAP", "1.0"))
@@ -172,6 +189,7 @@ def measure(scenario: str) -> Dict[str, Any]:
         "peak_link_queue": peak("link", "queue_occupancy"),
         "peak_player_buffer": peak("player", "buffer_frames"),
         "obs_overhead_pct": round(measure_obs_overhead(scenario), 2),
+        "peak_rss_kb": _peak_rss_kb(),
     }
     # the previous run's full archive (metrics + trace + accounting
     # sidecars), read eagerly before dump_observability overwrites it:
@@ -273,6 +291,10 @@ def judge(scenario: str, base: Dict[str, Any], cur: Dict[str, Any],
                 continue
             bad = c > max_obs_overhead
             rows.append((metric, b, c, 0.0, "FAIL" if bad else "ok"))
+            continue
+        if c is None:
+            # metric not recorded this run (e.g. no `resource` module
+            # for peak_rss_kb) — nothing to judge
             continue
         if b is None:
             rows.append((metric, b, c, 0.0, "NEW"))

@@ -16,6 +16,11 @@ memory (head-based trace sampling, span/event reservoirs, telemetry
 decimation/coalescing, top-K accounting), an :class:`ObsSink` streams
 records to an ``obs_*.jsonl`` sidecar as the run progresses, and an
 :class:`OverheadMeter` attributes what the obs stack itself cost.
+
+Fleets of runs roll up through :mod:`repro.obs.merge`: deterministic,
+order-insensitive merge operators over every store, producing one
+merged archive every renderer accepts (``scripts/fleet.py`` drives
+them across a multiprocessing pool).
 """
 
 from repro.obs.accounting import (
@@ -36,6 +41,14 @@ from repro.obs.metrics import (
     NULL_GAUGE,
     NULL_HISTOGRAM,
     TIME_BUCKETS,
+)
+from repro.obs.merge import (
+    is_merged_archive,
+    load_shard,
+    merge_archives,
+    merged_canonical_form,
+    split_shard,
+    write_merged,
 )
 from repro.obs.meter import OverheadMeter
 from repro.obs.profiler import CallsiteStats, LoopProfiler
@@ -74,9 +87,15 @@ __all__ = [
     "SamplingPolicy",
     "Violation",
     "Watchdog",
+    "is_merged_archive",
     "is_obs_sidecar",
     "load_accounting_file",
     "load_obs_sidecar",
+    "load_shard",
+    "merge_archives",
+    "merged_canonical_form",
+    "split_shard",
+    "write_merged",
     "render_top",
     "scaled_policy",
     "trace_sampled",

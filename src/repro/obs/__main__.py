@@ -48,11 +48,24 @@ Subcommands::
         Reads an archived ``accounting_<scenario>.json`` sidecar, or
         with ``--live`` runs a named scenario with the ledger enabled.
 
-    audit SCENARIO [--faults PLAN] [--out-dir DIR]
+    audit SCENARIO|merged.json [--faults PLAN] [--out-dir DIR]
         Run a named scenario with accounting enabled, then cross-check
         every live counter against the flow-conservation invariants.
         Prints violations (exit 1 when any) and optionally dumps the
-        full sidecar set for the run.
+        full sidecar set for the run.  Given a merged archive path
+        instead of a scenario name, renders its embedded (merged)
+        audit verdict.
+
+    merge <archive...> -o merged.json [--name NAME]
+        Deterministic, order-insensitive merge of N run archives
+        (``obs_*.jsonl`` streams, ``metrics_*.json`` dumps with their
+        sidecars, or previously merged archives) into one merged
+        archive: counters sum, histograms bucket-add, gauges resolve
+        by latest sim time with per-shard provenance, trace forests
+        get disjoint ids, series tick-align, ledgers merge exactly or
+        sketch-wise with propagated error bounds, and SLOs are
+        re-judged over the merged registry.  Every renderer above
+        accepts the result (see ``repro.obs.merge``).
 
 ``report``, ``trace``, ``dashboard``, and ``top`` all additionally
 accept a streamed ``obs_<name>.jsonl`` sidecar (see
@@ -117,6 +130,7 @@ def _add_sample_flags(parser: argparse.ArgumentParser) -> None:
 
 def _report(args: argparse.Namespace) -> int:
     spans = events = None
+    merged_shards = None
     if is_obs_sidecar(args.metrics):
         payload = load_obs_sidecar(args.metrics)
         meta = {k: v for k, v in payload["meta"].items()
@@ -126,12 +140,35 @@ def _report(args: argparse.Namespace) -> int:
         spans, events = payload["spans"], payload["events"]
     else:
         meta, metrics = load_metrics_file(args.metrics)
+        if meta.get("merged"):
+            # merged archives embed their traces and carry per-shard
+            # provenance; render both inline
+            spans = meta.get("spans") or []
+            events = meta.get("events") or []
+            merged_shards = meta.get("shards") or []
     title = meta.get("name") or args.metrics
     header = f"== scenario: {title} =="
     if "sim_time" in meta:
         header += f"  (sim_time {meta['sim_time']:.3f}s," \
                   f" {meta.get('events_run', '?')} events)"
     print(header)
+    if merged_shards is not None:
+        print(f"   merged from {len(merged_shards)} shard(s):")
+        for s in merged_shards:
+            line = (f"     - {s.get('name')}: "
+                    f"sim_time {s.get('sim_time', 0.0):.3f}s, "
+                    f"{s.get('events_run', 0)} events, "
+                    f"{s.get('spans', 0)} spans")
+            extras = []
+            if s.get("wall_seconds") is not None:
+                extras.append(f"wall {s['wall_seconds']:.2f}s")
+            if s.get("peak_rss_kb") is not None:
+                extras.append(f"peak rss {s['peak_rss_kb']} KiB")
+            if s.get("obs_overhead_pct") is not None:
+                extras.append(f"obs {s['obs_overhead_pct']:.1f}%")
+            if extras:
+                line += "  (" + ", ".join(extras) + ")"
+            print(line)
     print()
     print(render_metrics_summary(metrics))
     if "telemetry" in meta:
@@ -185,6 +222,11 @@ def _load_spans(path: str):
     if path.endswith(".jsonl"):
         spans, _ = load_trace_file(path)
         return spans
+    from repro.obs.merge import is_merged_archive
+    if is_merged_archive(path):
+        import json
+        with open(path) as fh:
+            return json.load(fh).get("spans") or []
     trace_path = find_trace_sidecar(path)
     if trace_path is None:
         raise SystemExit(f"critical: no trace sidecar found next to "
@@ -342,6 +384,9 @@ def _top(args: argparse.Namespace) -> int:
 
 
 def _audit(args: argparse.Namespace) -> int:
+    if os.path.isfile(args.scenario):
+        return _audit_archive(args.scenario)
+
     from repro.core.scenarios import build
     from repro.obs.audit import ConservationAuditor
 
@@ -361,6 +406,64 @@ def _audit(args: argparse.Namespace) -> int:
                                        args.out_dir):
             print(f"  wrote {path}")
     return 1 if violations else 0
+
+
+def _audit_archive(path: str) -> int:
+    """Render the audit verdict embedded in an archive (merged fleet
+    archives and monolithic metrics dumps alike)."""
+    import json
+
+    if is_obs_sidecar(path):
+        payload = load_obs_sidecar(path)
+        audit = payload["meta"].get("audit")
+        name = payload["name"] or path
+        sim_time = payload["meta"].get("sim_time", 0.0)
+    else:
+        with open(path) as fh:
+            payload = json.load(fh)
+        audit = payload.get("audit")
+        name = payload.get("name") or path
+        sim_time = payload.get("sim_time", 0.0)
+    if audit is None:
+        print(f"audit: {path} carries no audit block (run the "
+              f"scenario with accounting enabled)", file=sys.stderr)
+        return 2
+    violations = audit.get("violations", [])
+    scope = "merged " if payload.get("merged") else ""
+    print(f"== {scope}audit: {name} @ t={sim_time:.1f}s ==")
+    print(f"  {audit.get('checks', 0)} invariant checks, "
+          f"{len(violations)} violations")
+    for v in violations:
+        print(f"  VIOLATION {v}")
+    return 1 if violations else 0
+
+
+def _merge(args: argparse.Namespace) -> int:
+    from repro.obs.merge import load_shard, merge_archives, write_merged
+
+    shards = [load_shard(path) for path in args.archives]
+    merged = merge_archives(shards, name=args.name)
+    path = write_merged(merged, args.output)
+    prov = merged.get("provenance", {})
+    print(f"merged {len(shards)} shard(s) -> {path}")
+    print(f"  sim_time {merged['sim_time']:.3f}s, "
+          f"{merged['events_run']} events, "
+          f"{len(merged.get('spans') or [])} spans, "
+          f"{len(merged.get('events') or [])} flight events")
+    if prov.get("trace_id_remaps") or prov.get("span_id_remaps"):
+        print(f"  remapped {prov.get('trace_id_remaps', 0)} colliding "
+              f"trace id(s), {prov.get('span_id_remaps', 0)} span id(s)")
+    slo = merged.get("slo") or {}
+    audit = merged.get("audit")
+    verdict = f"  slo verdict: {slo.get('verdict', '?')}"
+    if audit is not None:
+        verdict += (f"; audit: {audit.get('checks', 0)} checks, "
+                    f"{len(audit.get('violations', []))} violations")
+    print(verdict)
+    if args.strict and (not slo.get("pass", True)
+                        or (audit is not None and not audit.get("ok"))):
+        return 1
+    return 0
 
 
 def _profile_cmd(args: argparse.Namespace) -> int:
@@ -476,13 +579,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_audit = sub.add_parser(
         "audit", help="run a scenario and check conservation invariants")
     p_audit.add_argument("scenario",
-                         help="scenario name (see repro.core.scenarios)")
+                         help="scenario name (see repro.core.scenarios) "
+                         "or an archive path whose embedded audit "
+                         "verdict should be rendered")
     p_audit.add_argument("--faults", metavar="PLAN",
                          help="arm a named fault plan before auditing")
     p_audit.add_argument("--fault-seed", type=int, default=None)
     p_audit.add_argument("--out-dir", default=None,
                          help="also dump the full sidecar set here")
     p_audit.set_defaults(func=_audit)
+
+    p_merge = sub.add_parser(
+        "merge", help="merge N run archives into one merged archive")
+    p_merge.add_argument("archives", nargs="+",
+                         help="obs_*.jsonl / metrics_*.json / merged "
+                         "archives to fold together")
+    p_merge.add_argument("-o", "--output", required=True,
+                         help="path for the merged archive")
+    p_merge.add_argument("--name", default="merged",
+                         help="name recorded in the merged archive")
+    p_merge.add_argument("--strict", action="store_true",
+                         help="exit 1 when the merged SLO verdict "
+                         "fails or the merged audit has violations")
+    p_merge.set_defaults(func=_merge)
 
     p_prof = sub.add_parser(
         "profile", help="profiler top-N from an archived dump")

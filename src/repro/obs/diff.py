@@ -15,7 +15,10 @@ A *run archive* is any of the artefact shapes the repo produces:
 * ``obs_<name>.jsonl`` — the streamed sidecar (spans, fin summary,
   last ledger checkpoint);
 * ``BENCH_<scenario>.json`` — a bench-gate baseline (scalar metric
-  vector + ``profile_top``, no spans).
+  vector + ``profile_top``, no spans);
+* a merged fleet archive (``repro.obs merge`` / ``scripts/fleet.py``)
+  — spans, ledger, and critical block are embedded, so two
+  same-partition fleets diff exactly like two single runs.
 
 Sections degrade gracefully: a side missing spans still diffs
 metrics, a BENCH baseline still diffs callsites.  Sections are
@@ -120,6 +123,18 @@ def load_run(path: str) -> RunArchive:
             path=path, name=payload.get("scenario", ""),
             profile=list(payload.get("profile_top", [])),
             bench=dict(payload.get("metrics", {})))
+    if payload.get("merged"):
+        # a merged fleet archive: everything is embedded, so two
+        # same-partition fleets diff exactly like two single runs
+        acct = payload.get("accounting")
+        return RunArchive(
+            path=path, name=payload.get("name")
+            or os.path.basename(path),
+            metrics=payload.get("metrics", {}),
+            slo=payload.get("slo"),
+            spans=list(payload.get("spans") or []),
+            accounting=acct.get("kinds") if acct else None,
+            critical=payload.get("critical"))
     meta, metrics = load_metrics_file(path)
     archive = RunArchive(
         path=path, name=meta.get("name") or os.path.basename(path),

@@ -30,7 +30,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional
 
-__all__ = ["FlightEvent", "FlightRecorder", "SEVERITIES"]
+__all__ = ["FlightEvent", "FlightRecorder", "SEVERITIES",
+           "event_sort_key"]
 
 #: allowed severity tags, in increasing order of gravity
 SEVERITIES = ("debug", "info", "warning", "error")
@@ -56,6 +57,27 @@ class FlightEvent:
             "trace_id": self.trace_id,
             "attrs": self.attrs,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FlightEvent":
+        return cls(time=payload["time"],
+                   component=payload["component"],
+                   kind=payload["kind"],
+                   severity=payload.get("severity", "info"),
+                   trace_id=payload.get("trace_id"),
+                   attrs=dict(payload.get("attrs") or {}))
+
+
+def event_sort_key(event: Dict[str, Any]):
+    """Total order over event dicts for k-way shard merges: sim time
+    first, then content so equal-time events from different shards
+    land deterministically."""
+    return (event.get("time", 0.0), event.get("component", ""),
+            event.get("kind", ""), event.get("severity", ""),
+            event.get("trace_id") if event.get("trace_id") is not None
+            else -1,
+            json.dumps(event.get("attrs") or {}, sort_keys=True,
+                       default=repr))
 
 
 class FlightRecorder:

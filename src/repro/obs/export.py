@@ -56,10 +56,16 @@ def critical_block(spans) -> Optional[Dict[str, Any]]:
 
 
 def telemetry_health(mits) -> Dict[str, Any]:
-    """Loss/truncation accounting for one deployment's telemetry."""
+    """Loss/truncation accounting for one deployment's telemetry.
+
+    With an overflow reservoir installed on the flight recorder the
+    block grows ``flight_overflow_kept`` — how many ring-evicted
+    events the reservoir salvaged — so dropped-vs-salvaged is visible
+    in every archive; the default (no-policy) shape is unchanged.
+    """
     sim = mits.sim
     sampler = getattr(mits, "sampler", None)
-    return {
+    health = {
         "flight_recorded": sim.recorder.recorded,
         "flight_dropped": sim.recorder.dropped,
         "tracer_spans": len(sim.tracer.spans),
@@ -68,6 +74,9 @@ def telemetry_health(mits) -> Dict[str, Any]:
         "sampler_evictions": sampler.evictions
         if sampler is not None else 0,
     }
+    if sim.recorder._overflow is not None:
+        health["flight_overflow_kept"] = len(sim.recorder._overflow)
+    return health
 
 
 def dump_observability(mits, name: str, out_dir: str,
@@ -130,6 +139,12 @@ def dump_observability(mits, name: str, out_dir: str,
     with open(trace_path, "w") as fh:
         for span in sim.tracer.spans:
             fh.write(json.dumps({"record": "span", **span.to_dict()},
+                                sort_keys=True) + "\n")
+        # reservoir-salvaged ring-evicted events first (they are the
+        # oldest), then the live ring — otherwise the overflow sample
+        # survives the run but silently misses the archive
+        for event in sim.recorder.overflow:
+            fh.write(json.dumps({"record": "event", **event.to_dict()},
                                 sort_keys=True) + "\n")
         for event in sim.recorder.events:
             fh.write(json.dumps({"record": "event", **event.to_dict()},

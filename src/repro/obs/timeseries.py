@@ -150,6 +150,28 @@ class Series:
             "p99": vals[idx],
         }
 
+    @classmethod
+    def from_dict(cls, entry: Mapping[str, Any]) -> "Series":
+        """Rebuild one series from its :meth:`to_dict` form (rings are
+        restored verbatim — rates are not re-derived)."""
+        series = cls(entry["component"], entry["name"],
+                     entry.get("labels", {}),
+                     entry.get("kind", "gauge"),
+                     capacity=max(2, len(entry.get("times", []))))
+        times = entry.get("times", [])
+        values = entry.get("values", [])
+        rates = entry.get("rates")
+        p99s = entry.get("p99s")
+        for i, (t, v) in enumerate(zip(times, values)):
+            series.times.append(t)
+            series.values.append(v)
+            if series.rates is not None and rates is not None:
+                series.rates.append(rates[i] if i < len(rates) else 0.0)
+            if series.p99s is not None and p99s is not None:
+                series.p99s.append(p99s[i] if i < len(p99s) else 0.0)
+        series.evicted = entry.get("evicted", 0)
+        return series
+
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
             "component": self.component,
@@ -362,22 +384,5 @@ class TelemetrySampler:
 def load_timeseries(payload: Mapping[str, Any]) -> List[Series]:
     """Rebuild :class:`Series` objects from a snapshot/sidecar dict, so
     the dashboard renders archived runs exactly like live ones."""
-    out: List[Series] = []
-    for entry in payload.get("series", []):
-        series = Series(entry["component"], entry["name"],
-                        entry.get("labels", {}), entry.get("kind", "gauge"),
-                        capacity=max(2, len(entry.get("times", []))))
-        times = entry.get("times", [])
-        values = entry.get("values", [])
-        rates = entry.get("rates")
-        p99s = entry.get("p99s")
-        for i, (t, v) in enumerate(zip(times, values)):
-            series.times.append(t)
-            series.values.append(v)
-            if series.rates is not None and rates is not None:
-                series.rates.append(rates[i] if i < len(rates) else 0.0)
-            if series.p99s is not None and p99s is not None:
-                series.p99s.append(p99s[i] if i < len(p99s) else 0.0)
-        series.evicted = entry.get("evicted", 0)
-        out.append(series)
-    return out
+    return [Series.from_dict(entry) for entry in
+            payload.get("series", [])]

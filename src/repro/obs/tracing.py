@@ -86,6 +86,16 @@ class SpanRecord:
             "attrs": self.attrs,
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SpanRecord":
+        return cls(span_id=payload["span_id"],
+                   parent_id=payload.get("parent_id"),
+                   trace_id=payload["trace_id"],
+                   name=payload["name"],
+                   start=payload["start"],
+                   end=payload["end"],
+                   attrs=dict(payload.get("attrs") or {}))
+
 
 class _NullSpan:
     """Shared no-op span for a disabled tracer."""

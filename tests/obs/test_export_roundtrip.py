@@ -102,3 +102,97 @@ class TestTopParity:
         data = json.loads(open(path).read())
         assert data["enabled"] is True
         assert set(data["kinds"]) >= {"vc", "site", "stream", "link"}
+
+
+class TestOverheadRoundTrip:
+    """The wall-clock overhead block survives the metrics sidecar and
+    stays OUT of the deterministic obs stream."""
+
+    def test_overhead_block_round_trips_in_metrics_sidecar(self, dumped):
+        mits, out, _ = dumped
+        meta, _ = load_metrics_file(os.path.join(out, "metrics_rt.json"))
+        assert "overhead" in meta
+        live = mits.meter.report()
+        assert set(meta["overhead"]) == set(live)
+        assert meta["overhead"]["obs_overhead_pct"] >= 0.0
+        # components accrued before the dump are all accounted for
+        assert set(meta["overhead"]["components"]) \
+            <= set(live["components"])
+
+    def test_default_run_has_no_overflow_key(self, dumped):
+        """No policy ⇒ the telemetry block keeps its historical shape."""
+        _, out, _ = dumped
+        meta, _ = load_metrics_file(os.path.join(out, "metrics_rt.json"))
+        assert "flight_overflow_kept" not in meta["telemetry"]
+
+
+class TestOverflowRoundTrip:
+    """Ring-evicted events salvaged by the overflow reservoir must
+    survive BOTH archive paths: the monolithic sidecars and the
+    streamed obs JSONL."""
+
+    @pytest.fixture(scope="class")
+    def overflowed(self, tmp_path_factory):
+        from repro.obs.sampling import SamplingPolicy
+
+        out = str(tmp_path_factory.mktemp("overflow"))
+        stream = os.path.join(out, "obs_ov.jsonl")
+        run = build("quickstart",
+                    sampling=SamplingPolicy(event_reservoir=4, seed=3),
+                    stream=stream)
+        run.run_to_horizon()
+        mits = run.mits
+        # force ring evictions: the reservoir only salvages once the
+        # flight ring is full
+        recorder = mits.sim.recorder
+        capacity = recorder._events.maxlen
+        for i in range(capacity + 50):
+            recorder.record("test", "filler", seq=i)
+        assert recorder.dropped > 0
+        assert len(recorder._overflow) > 0
+        written = dump_observability(mits, "ov", out)
+        return mits, out, stream, written
+
+    def test_metrics_sidecar_reports_salvaged_count(self, overflowed):
+        mits, out, _, _ = overflowed
+        meta, _ = load_metrics_file(os.path.join(out, "metrics_ov.json"))
+        health = meta["telemetry"]
+        assert health["flight_overflow_kept"] \
+            == len(mits.sim.recorder._overflow)
+        assert health["flight_overflow_kept"] > 0
+        assert health["flight_dropped"] == mits.sim.recorder.dropped
+
+    def test_streamed_fin_matches_metrics_sidecar(self, overflowed):
+        from repro.obs.sink import load_obs_sidecar
+
+        _, out, stream, _ = overflowed
+        meta, _ = load_metrics_file(os.path.join(out, "metrics_ov.json"))
+        streamed = load_obs_sidecar(stream)
+        assert streamed["meta"]["telemetry"] == meta["telemetry"]
+        # the stream itself must stay wall-clock-free
+        assert '"overhead"' not in open(stream).read()
+
+    def test_render_parity_shows_the_salvage_line(self, overflowed):
+        from repro.obs.export import telemetry_health
+        from repro.obs.report import render_telemetry_health
+
+        mits, out, _, _ = overflowed
+        meta, _ = load_metrics_file(os.path.join(out, "metrics_ov.json"))
+        archived = render_telemetry_health(meta["telemetry"])
+        assert archived == render_telemetry_health(telemetry_health(mits))
+        assert "overflow reservoir" in archived
+        assert "salvaged" in archived
+
+    def test_trace_sidecar_carries_the_salvaged_events(self, overflowed):
+        mits, out, _, _ = overflowed
+        spans, events = load_trace_file(os.path.join(out, "trace_ov.jsonl"))
+        recorder = mits.sim.recorder
+        assert len(events) \
+            == len(recorder._overflow) + len(recorder.events)
+        # reservoir events are the oldest: written first, so a reader
+        # sees (salvaged, then live ring) in record order
+        salvaged = events[:len(recorder._overflow)]
+        canon = lambda rows: json.loads(  # noqa: E731
+            json.dumps(rows, sort_keys=True))
+        assert salvaged \
+            == canon([e.to_dict() for e in recorder.overflow])

@@ -1,0 +1,291 @@
+"""Property-based tests: merge operators are a commutative monoid.
+
+Hypothesis drives arbitrary registries and ledgers through
+``repro.obs.merge`` and asserts the algebra the fleet runner leans on:
+
+* **commutativity** — ``merge(a, b) == merge(b, a)``;
+* **associativity** — ``merge(merge(a, b), c) == merge(a, merge(b, c))``
+  for the content stores (metrics, ledger), grouped via re-merge of
+  the merged archive;
+* **identity** — merging with an empty shard changes nothing;
+* **sketch error bounds** — the space-saving merge's propagated error
+  is a true bound (``|exact - estimate| <= error``) and is monotone:
+  a merged row's error is never smaller than any input shard's error
+  for it.
+
+Values are integer-valued floats so float addition is exact and
+associative — the properties under test are the operators', not IEEE
+rounding's.
+"""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.accounting import ACCOUNT_SUM_FIELDS, account_weight
+from repro.obs.merge import (
+    merge_archives,
+    merge_ledger,
+    merge_metrics,
+    merged_canonical_form,
+    sketch_trim,
+)
+
+# -- strategies -------------------------------------------------------------
+
+_names = st.sampled_from(["alpha", "beta", "gamma"])
+_components = st.sampled_from(["link", "player", "rpc"])
+_labels = st.dictionaries(st.sampled_from(["vc", "site", "stream"]),
+                          st.sampled_from(["a", "b", "c"]), max_size=2)
+_ints = st.integers(min_value=0, max_value=10_000)
+
+
+@st.composite
+def counters(draw):
+    return {"labels": draw(_labels), "type": "counter",
+            "value": draw(_ints)}
+
+
+@st.composite
+def gauges(draw):
+    lo = draw(st.integers(min_value=-100, max_value=100))
+    hi = draw(st.integers(min_value=lo, max_value=200))
+    return {"labels": draw(_labels), "type": "gauge",
+            "value": draw(st.integers(min_value=lo, max_value=hi)),
+            "min": lo, "max": hi}
+
+
+@st.composite
+def histograms(draw):
+    bounds = sorted(draw(st.sets(
+        st.sampled_from([1.0, 4.0, 16.0, 64.0]), min_size=1)))
+    buckets = [{"le": le, "count": draw(_ints)} for le in bounds]
+    buckets = [b for b in buckets if b["count"]]
+    count = sum(b["count"] for b in buckets)
+    overflow = draw(st.integers(min_value=0, max_value=3))
+    mx = (max(b["le"] for b in buckets) if buckets else None)
+    return {"labels": draw(_labels), "type": "histogram",
+            "count": count + overflow,
+            "sum": float(count * 2 + overflow * 100),
+            "mean": 0.0, "min": 1.0 if count + overflow else None,
+            "max": (100.0 if overflow else mx),
+            "buckets": buckets, "overflow": overflow,
+            "p50": 0.0, "p99": 0.0}
+
+
+#: every shard runs the same code, so a metric name determines its
+#: instrument kind fleet-wide — without this a registries() pair could
+#: present a kind conflict, which merge_metrics rejects by design
+_KIND_OF = {"alpha": counters, "beta": gauges, "gamma": histograms}
+
+
+@st.composite
+def registries(draw):
+    """Like a real registry: one instrument kind per metric name, one
+    entry per label set."""
+    report = {}
+    for _ in range(draw(st.integers(min_value=0, max_value=6))):
+        component = draw(_components)
+        name = draw(_names)
+        rows = report.setdefault(component, {}).setdefault(name, [])
+        entry = draw(_KIND_OF[name]())
+        key = tuple(sorted(entry["labels"].items()))
+        if all(tuple(sorted(r["labels"].items())) != key
+               for r in rows):
+            rows.append(entry)
+    return report
+
+
+@st.composite
+def accounts(draw, key):
+    row = {"kind": "vc", "key": key, "note": ""}
+    for f in ACCOUNT_SUM_FIELDS:
+        row[f] = (draw(_ints) if f != "residency_seconds"
+                  else float(draw(_ints)))
+    return row
+
+
+@st.composite
+def ledgers(draw):
+    keys = draw(st.sets(st.sampled_from(
+        ["vc1", "vc2", "vc3", "vc4"]), max_size=4))
+    rows = [draw(accounts(k)) for k in sorted(keys)]
+    return {"enabled": True, "kinds": {"vc": rows} if rows else {}}
+
+
+def shard(name, sim_time, *, metrics=None, accounting=None):
+    return {"name": name, "path": f"<prop:{name}>",
+            "sim_time": sim_time, "events_run": 0,
+            "metrics": metrics or {}, "spans": [], "events": [],
+            "timeseries": None, "accounting": accounting,
+            "watchdog": None, "audit": None, "telemetry": None,
+            "overhead": None}
+
+
+EMPTY = shard("empty", 0.0)
+
+
+def canon(payload):
+    return json.dumps(payload, sort_keys=True, default=repr)
+
+
+# -- registry properties ----------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=registries(), b=registries(),
+       ta=st.floats(min_value=0, max_value=100, allow_nan=False),
+       tb=st.floats(min_value=0, max_value=100, allow_nan=False))
+def test_metrics_merge_commutes(a, b, ta, tb):
+    fwd = merge_metrics([shard("a", ta, metrics=a),
+                         shard("b", tb, metrics=b)])
+    rev = merge_metrics([shard("b", tb, metrics=b),
+                         shard("a", ta, metrics=a)])
+    assert canon(fwd) == canon(rev)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=registries(), b=registries(), c=registries())
+def test_metrics_merge_is_associative_via_remerge(a, b, c):
+    sa, sb, sc = (shard("a", 1.0, metrics=a),
+                  shard("b", 2.0, metrics=b),
+                  shard("c", 3.0, metrics=c))
+
+    def as_shard(name, shards):
+        merged = merge_archives(shards, name=name)
+        return {**shard(name, merged["sim_time"],
+                        metrics=merged["metrics"]),
+                "events_run": merged["events_run"],
+                "gauge_provenance":
+                    merged["provenance"]["gauges"]}
+
+    lhs = merge_archives([as_shard("ab", [sa, sb]), dict(sc)],
+                         name="x")
+    rhs = merge_archives([dict(sa), as_shard("bc", [sb, sc])],
+                         name="x")
+    assert canon(lhs["metrics"]) == canon(rhs["metrics"])
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=registries(),
+       t=st.floats(min_value=0.1, max_value=100, allow_nan=False))
+def test_metrics_merge_identity(a, t):
+    alone = merge_metrics([shard("a", t, metrics=a)])
+    padded = merge_metrics([shard("a", t, metrics=a), dict(EMPTY)])
+    assert canon(alone) == canon(padded)
+
+
+# -- ledger properties ------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=ledgers(), b=ledgers())
+def test_ledger_merge_commutes(a, b):
+    fwd = merge_ledger([shard("a", 1.0, accounting=a),
+                        shard("b", 1.0, accounting=b)], sim_time=1.0)
+    rev = merge_ledger([shard("b", 1.0, accounting=b),
+                        shard("a", 1.0, accounting=a)], sim_time=1.0)
+    assert canon(fwd) == canon(rev)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=ledgers(), b=ledgers(), c=ledgers())
+def test_exact_ledger_merge_is_associative(a, b, c):
+    sa, sb, sc = (shard("a", 1.0, accounting=a),
+                  shard("b", 1.0, accounting=b),
+                  shard("c", 1.0, accounting=c))
+    ab = merge_ledger([sa, sb], sim_time=1.0)
+    bc = merge_ledger([sb, sc], sim_time=1.0)
+    lhs = merge_ledger([shard("ab", 1.0, accounting=ab), dict(sc)],
+                       sim_time=1.0)
+    rhs = merge_ledger([dict(sa), shard("bc", 1.0, accounting=bc)],
+                       sim_time=1.0)
+    assert canon(lhs) == canon(rhs)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=ledgers())
+def test_ledger_merge_identity(a):
+    alone = merge_ledger([shard("a", 1.0, accounting=a)], sim_time=1.0)
+    padded = merge_ledger(
+        [shard("a", 1.0, accounting=a),
+         shard("empty", 0.0,
+               accounting={"enabled": True, "kinds": {}})],
+        sim_time=1.0)
+    assert canon(alone) == canon(padded)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=ledgers(), b=ledgers(),
+       k=st.integers(min_value=1, max_value=3))
+def test_sketch_error_bound_holds_and_is_monotone(a, b, k):
+    """The documented contract: |exact - estimate| <= error for every
+    kept row, and merging never shrinks a shard's error for a row."""
+    exact = merge_ledger([shard("a", 1.0, accounting=a),
+                          shard("b", 1.0, accounting=b)], sim_time=1.0)
+    sk_a = sketch_trim(a, k) if a["kinds"] else a
+    sk_b = sketch_trim(b, k) if b["kinds"] else b
+    merged = merge_ledger([shard("a", 1.0, accounting=sk_a),
+                           shard("b", 1.0, accounting=sk_b)],
+                          sim_time=1.0)
+    if merged is None:
+        return
+    truth = {(kind, r["key"]): account_weight(r)
+             for kind, rows in (exact or {"kinds": {}})["kinds"].items()
+             for r in rows}
+    shard_errors = {}
+    for sk in (sk_a, sk_b):
+        for kind, rows in (sk.get("kinds") or {}).items():
+            for r in rows:
+                key = (kind, r["key"])
+                shard_errors[key] = max(shard_errors.get(key, 0.0),
+                                        r.get("error", 0.0))
+    for kind, rows in merged["kinds"].items():
+        for r in rows:
+            assert abs(truth[(kind, r["key"])] - r["weight"]) \
+                <= r["error"] + 1e-9
+            # monotone: merging never shrinks a shard's own bound
+            assert r["error"] >= shard_errors.get((kind, r["key"]),
+                                                  0.0) - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=ledgers(), k=st.integers(min_value=1, max_value=4))
+def test_sketch_trim_weights_rank_truthfully(a, k):
+    """Trimming keeps the heaviest rows and never invents weight."""
+    if not a["kinds"]:
+        return
+    trimmed = sketch_trim(a, k)
+    kept = trimmed["kinds"]["vc"]
+    dropped = [r for r in a["kinds"]["vc"]
+               if r["key"] not in {x["key"] for x in kept}]
+    if kept and dropped:
+        min_kept = min(account_weight(r) for r in kept)
+        assert all(account_weight(r) <= min_kept + 1e-9
+                   for r in dropped)
+
+
+# -- whole-archive properties ----------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=registries(), b=registries(), la=ledgers(), lb=ledgers())
+def test_archive_merge_commutes_end_to_end(a, b, la, lb):
+    sa = shard("a", 1.0, metrics=a, accounting=la)
+    sb = shard("b", 2.0, metrics=b, accounting=lb)
+    fwd = merge_archives([sa, sb], name="x")
+    rev = merge_archives([sb, sa], name="x")
+    assert merged_canonical_form(fwd) == merged_canonical_form(rev)
+    assert canon(fwd["shards"]) == canon(rev["shards"])
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=registries(), la=ledgers())
+def test_archive_merge_identity_with_empty_shard(a, la):
+    sa = shard("a", 1.0, metrics=a, accounting=la)
+    alone = merge_archives([dict(sa)], name="x")
+    padded = merge_archives([dict(sa), dict(EMPTY)], name="x")
+    assert canon(alone["metrics"]) == canon(padded["metrics"])
+    assert canon(alone.get("accounting")) \
+        == canon(padded.get("accounting"))
+    assert alone["slo"] == padded["slo"]
